@@ -1,0 +1,263 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation against a freshly simulated world, prints the
+   Section 7.2 target analysis and the Section 8.2 mitigation ablations,
+   and runs a bechamel microbenchmark suite over the cryptographic
+   operations the crypto shortcuts exist to avoid.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe t1 f3 google    run selected experiments
+     bench/main.exe micro           microbenchmarks only
+     bench/main.exe ablations       section 8.2 what-ifs only
+
+   Environment:
+     TLSHARM_DOMAINS  sampled world size (default 4000)
+     TLSHARM_DAYS     campaign length in days (default 63)
+     TLSHARM_SEED     world seed (default "tlsharm") *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let study_config () =
+  {
+    Tlsharm.Study.world_config =
+      {
+        Simnet.World.default_config with
+        Simnet.World.n_domains = env_int "TLSHARM_DOMAINS" 4000;
+        seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+      };
+    campaign_days = env_int "TLSHARM_DAYS" 63;
+    verbose = true;
+  }
+
+let study = lazy (Tlsharm.Study.create ~config:(study_config ()) ())
+
+(* --- Section 7.2 ------------------------------------------------------------- *)
+
+let google_analysis () =
+  let study = Lazy.force study in
+  let a = Tlsharm.Target_analysis.analyze study ~operator:"google" ~flagship:"google.com" in
+  Tlsharm.Target_analysis.report a
+  ^ "\n"
+  ^ Tlsharm.Target_analysis.static_stek_contrast study ~flagship:"yandex.ru"
+  ^ "\n"
+
+(* --- Microbenchmarks ----------------------------------------------------------- *)
+
+let microbenches () =
+  let open Bechamel in
+  let env = Tls.Config.sim_env () in
+  let real = Tls.Config.real_env () in
+  let rng = Crypto.Drbg.create ~seed:"bench" in
+  (* A self-contained client/server pair at simulation parameters. *)
+  let ca =
+    Tls.Cert.self_signed ~curve:env.Tls.Config.pki_curve ~name:"Bench CA" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:1 rng
+  in
+  let key = Crypto.Ecdsa.gen_keypair env.Tls.Config.pki_curve rng in
+  let cert =
+    Tls.Cert.issue ca ~curve:env.Tls.Config.pki_curve ~subject:"bench.example" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:2
+      ~pub:(Crypto.Ec.point_bytes env.Tls.Config.pki_curve (Crypto.Ecdsa.public_key key))
+      rng
+  in
+  let stek_manager =
+    Tls.Stek_manager.create ~policy:Tls.Stek_manager.Static ~secret:"bench" ~now:0
+  in
+  let make_server ~kex_policy suites =
+    Tls.Server.create
+      ~config:
+        {
+          Tls.Config.env;
+          suites;
+          issue_session_ids = true;
+          session_cache = Some (Tls.Session_cache.create ~lifetime:86_400 ~capacity:100_000);
+          tickets =
+            Some
+              {
+                Tls.Config.stek_manager;
+                lifetime_hint = 3600;
+                accept_lifetime = 86_400;
+                reissue_on_resumption = true;
+              };
+          kex_cache = Tls.Kex_cache.uniform ~policy:kex_policy;
+          cert_chain = [ cert ];
+          cert_key = key;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"bench-server")
+  in
+  let client =
+    Tls.Client.create
+      ~config:
+        {
+          Tls.Config.cl_env = env;
+          offer_suites = Tls.Types.all_cipher_suites;
+          offer_ticket = true;
+          root_store = Tls.Cert.store_of_list [ Tls.Cert.authority_cert ca ];
+          check_certs = false;
+          evaluate_trust = false;
+          verify_ske = true;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"bench-client") ()
+  in
+  let connect server offer () =
+    let o = Tls.Engine.connect client server ~now:1 ~hostname:"bench.example" ~offer in
+    assert o.Tls.Engine.ok
+  in
+  let ecdhe_server =
+    make_server ~kex_policy:Tls.Kex_cache.Fresh_always [ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ]
+  in
+  let ecdhe_reuse_server =
+    make_server ~kex_policy:Tls.Kex_cache.Reuse_forever [ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ]
+  in
+  let dhe_server =
+    make_server ~kex_policy:Tls.Kex_cache.Fresh_always [ Tls.Types.DHE_ECDSA_AES128_SHA256 ]
+  in
+  let static_server =
+    make_server ~kex_policy:Tls.Kex_cache.Fresh_always [ Tls.Types.ECDH_ECDSA_AES128_SHA256 ]
+  in
+  let resume_offer server =
+    let o =
+      Tls.Engine.connect client server ~now:1 ~hostname:"bench.example" ~offer:Tls.Client.Fresh
+    in
+    match (o.Tls.Engine.new_ticket, o.Tls.Engine.session) with
+    | Some (_, ticket), Some session ->
+        (Tls.Client.Offer_ticket { ticket; session }, Tls.Client.Offer_session_id session)
+    | _ -> failwith "bench: no resumption state"
+  in
+  let ticket_offer, id_offer = resume_offer ecdhe_server in
+  (* Raw primitives. *)
+  let stek = Tls.Stek_manager.issuing stek_manager ~now:0 in
+  let session =
+    Tls.Session.make ~id:(String.make 32 'i') ~master_secret:(String.make 48 'm')
+      ~cipher_suite:Tls.Types.ECDHE_ECDSA_AES128_SHA256 ~established_at:0
+  in
+  let sealed = Tls.Ticket.seal stek rng session in
+  let find_stek name = if String.equal name (Tls.Stek.key_name stek) then Some stek else None in
+  let kb = String.make 1024 'x' in
+  let aes = Crypto.Aes.of_key (String.make 16 'k') in
+  let block = String.make 16 'b' in
+  let p256_kp = Crypto.Ec.gen_keypair Crypto.Ec.p256 rng in
+  let p256_pub =
+    match Crypto.Ec.point_of_bytes Crypto.Ec.p256 (Crypto.Ec.public_bytes p256_kp) with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let oakley_kp = Crypto.Dh.gen_keypair Crypto.Dh.oakley2 rng in
+  let oakley_pub = Crypto.Bignum.of_bytes_be (Crypto.Dh.public_bytes oakley_kp) in
+  let x_kp = Crypto.X25519.gen_keypair rng in
+  let tests =
+    [
+      (* The shortcuts' cost story: what a full handshake costs versus a
+         resumption — the performance motivation the paper weighs against
+         the forward-secrecy harm. *)
+      Test.make ~name:"handshake/full-ecdhe-fresh"
+        (Staged.stage (connect ecdhe_server Tls.Client.Fresh));
+      Test.make ~name:"handshake/full-ecdhe-reused-value"
+        (Staged.stage (connect ecdhe_reuse_server Tls.Client.Fresh));
+      Test.make ~name:"handshake/full-dhe-fresh"
+        (Staged.stage (connect dhe_server Tls.Client.Fresh));
+      Test.make ~name:"handshake/full-static-ecdh"
+        (Staged.stage (connect static_server Tls.Client.Fresh));
+      Test.make ~name:"handshake/resume-session-id" (Staged.stage (connect ecdhe_server id_offer));
+      Test.make ~name:"handshake/resume-ticket" (Staged.stage (connect ecdhe_server ticket_offer));
+      (* Ticket machinery. *)
+      Test.make ~name:"ticket/seal"
+        (Staged.stage (fun () -> ignore (Tls.Ticket.seal stek rng session)));
+      Test.make ~name:"ticket/unseal"
+        (Staged.stage (fun () ->
+             match Tls.Ticket.unseal ~find_stek sealed with Ok _ -> () | Error _ -> assert false));
+      (* Asymmetric primitives, simulation- and production-sized. *)
+      Test.make ~name:"kex/ecdhe-keygen-sim"
+        (Staged.stage (fun () -> ignore (Crypto.Ec.gen_keypair env.Tls.Config.ecdhe_curve rng)));
+      Test.make ~name:"kex/ecdhe-keygen-p256"
+        (Staged.stage (fun () -> ignore (Crypto.Ec.gen_keypair Crypto.Ec.p256 rng)));
+      Test.make ~name:"kex/ecdh-shared-p256"
+        (Staged.stage (fun () ->
+             match Crypto.Ec.shared_secret p256_kp ~peer_pub:p256_pub with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      Test.make ~name:"kex/dhe-keygen-sim"
+        (Staged.stage (fun () -> ignore (Crypto.Dh.gen_keypair env.Tls.Config.dh_group rng)));
+      Test.make ~name:"kex/dhe-keygen-oakley1024"
+        (Staged.stage (fun () -> ignore (Crypto.Dh.gen_keypair real.Tls.Config.dh_group rng)));
+      Test.make ~name:"kex/dhe-shared-oakley1024"
+        (Staged.stage (fun () ->
+             match Crypto.Dh.shared_secret oakley_kp ~peer_pub:oakley_pub with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      Test.make ~name:"kex/x25519-shared"
+        (Staged.stage (fun () ->
+             match Crypto.X25519.shared_secret x_kp ~peer_pub:(Crypto.X25519.public_bytes x_kp) with
+             | Ok _ -> ()
+             | Error _ -> ()));
+      (* Symmetric floor. *)
+      Test.make ~name:"sym/sha256-1KiB" (Staged.stage (fun () -> ignore (Crypto.Sha256.digest kb)));
+      Test.make ~name:"sym/aes128-block"
+        (Staged.stage (fun () -> ignore (Crypto.Aes.encrypt_block aes block)));
+      Test.make ~name:"sym/hmac-sha256-1KiB"
+        (Staged.stage (fun () -> ignore (Crypto.Hmac.sha256 ~key:"k" kb)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"tlsharm" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with Some (t :: _) -> t | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  let pretty ns =
+    if ns < 1_000.0 then Printf.sprintf "%.0f ns" ns
+    else if ns < 1_000_000.0 then Printf.sprintf "%.1f us" (ns /. 1e3)
+    else Printf.sprintf "%.2f ms" (ns /. 1e6)
+  in
+  Analysis.Report.section "Microbenchmarks (bechamel, monotonic clock)"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Operation"; "Time/run"; "r^2" ]
+      ~rows:(List.map (fun (n, ns, r2) -> [ n; pretty ns; Printf.sprintf "%.3f" r2 ]) rows)
+  ^ "\n\nThe gap between full handshakes and resumptions is the performance incentive behind\n\
+     the paper's crypto shortcuts; production-sized DHE (Oakley 1024) shows why servers\n\
+     cached ephemeral values.\n"
+
+(* --- Driver ------------------------------------------------------------------------- *)
+
+let ablations () = Tlsharm.Mitigations.report (Lazy.force study)
+let tls13 () = Tlsharm.Tls13_projection.report (Lazy.force study)
+
+let named : (string * (unit -> string)) list =
+  List.map (fun (name, f) -> (name, fun () -> f (Lazy.force study))) Tlsharm.Experiments.by_name
+  @ [
+      ("google", google_analysis);
+      ("ablations", ablations);
+      ("tls13", tls13);
+      ("micro", microbenches);
+    ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  let selected =
+    match args with [] | [ "all" ] -> List.map fst named | ids -> ids
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id named with
+      | Some f -> print_endline (f ())
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" id
+            (String.concat " " (List.map fst named));
+          exit 1)
+    selected;
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

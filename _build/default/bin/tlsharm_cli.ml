@@ -1,0 +1,336 @@
+(* tlsharm — command-line interface to the reproduction.
+
+     tlsharm world-info                 summarize the simulated population
+     tlsharm scan --mode burst          run one scan, emit CSV observations
+     tlsharm reproduce                  run the full study, print all
+                                        tables/figures (same as bench all)
+     tlsharm experiment t1 f8 google    selected experiments
+     tlsharm attack-demo                end-to-end stolen-secret decryptions
+
+   Every command accepts --domains/--days/--seed to size the world. *)
+
+open Cmdliner
+
+(* --- Common options ------------------------------------------------------------ *)
+
+let domains_arg =
+  Arg.(value & opt int 4000 & info [ "domains" ] ~docv:"N" ~doc:"Sampled world size.")
+
+let days_arg =
+  Arg.(value & opt int 63 & info [ "days" ] ~docv:"DAYS" ~doc:"Campaign length in days.")
+
+let seed_arg = Arg.(value & opt string "tlsharm" & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress on stderr.")
+
+let world_config ~domains ~seed =
+  { Simnet.World.default_config with Simnet.World.n_domains = domains; seed }
+
+let study_config ~domains ~days ~seed ~verbose =
+  {
+    Tlsharm.Study.world_config = world_config ~domains ~seed;
+    campaign_days = days;
+    verbose;
+  }
+
+(* --- world-info ------------------------------------------------------------------ *)
+
+let world_info domains seed =
+  let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let ds = Simnet.World.domains world in
+  let wsum f =
+    Array.fold_left (fun acc d -> if f d then acc +. Simnet.World.domain_weight d else acc) 0.0 ds
+  in
+  let total = wsum (fun _ -> true) in
+  Printf.printf "sampled domains:        %d (representing %.0f)\n" (Array.length ds) total;
+  Printf.printf "https:                  %.1f%%\n" (100.0 *. wsum Simnet.World.domain_has_https /. total);
+  Printf.printf "browser-trusted https:  %.1f%%\n" (100.0 *. wsum Simnet.World.domain_trusted /. total);
+  Printf.printf "stable (always listed): %.1f%%\n" (100.0 *. wsum Simnet.World.domain_stable /. total);
+  Printf.printf "mx at google:           %.1f%%\n"
+    (100.0 *. wsum Simnet.World.mx_points_to_google /. total);
+  let by_op = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      let op = Simnet.World.domain_operator d in
+      if not (String.length op > 5 && String.sub op 0 5 = "site:") then
+        Hashtbl.replace by_op op
+          (Simnet.World.domain_weight d +. Option.value ~default:0.0 (Hashtbl.find_opt by_op op)))
+    ds;
+  let ops =
+    Hashtbl.fold (fun op w acc -> (op, w) :: acc) by_op []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  Printf.printf "\nlargest operators (weighted domains):\n";
+  List.iteri
+    (fun i (op, w) -> if i < 12 && op <> "tail" then Printf.printf "  %-16s %8.0f\n" op w)
+    ops;
+  Printf.printf "\nnamed case-study domains: %d\n" (List.length Simnet.Notable.all);
+  `Ok ()
+
+let world_info_cmd =
+  Cmd.v
+    (Cmd.info "world-info" ~doc:"Summarize the simulated population.")
+    Term.(ret (const world_info $ domains_arg $ seed_arg))
+
+(* --- scan ---------------------------------------------------------------------------- *)
+
+let scan domains seed mode out =
+  let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let conns =
+    match mode with
+    | `Burst ->
+        let probe = Scanner.Probe.create ~seed:"cli-burst" world in
+        Scanner.Burst_scan.run probe ~rounds:10 ~gap:30 ()
+        |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
+    | `Dhe ->
+        let probe = Scanner.Probe.dhe_only world ~seed:"cli-dhe" in
+        Scanner.Burst_scan.run probe ~rounds:1 ~gap:0 ()
+        |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
+    | `Single ->
+        let probe = Scanner.Probe.create ~seed:"cli-single" world in
+        Scanner.Burst_scan.run probe ~rounds:1 ~gap:0 ()
+        |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
+  in
+  (match out with
+  | Some path ->
+      Scanner.Observation.write_csv path conns;
+      Printf.printf "wrote %d observations to %s\n" (List.length conns) path
+  | None ->
+      print_endline Scanner.Observation.csv_header;
+      List.iter (fun c -> print_endline (Scanner.Observation.to_csv_row c)) conns);
+  `Ok ()
+
+let scan_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("single", `Single); ("burst", `Burst); ("dhe", `Dhe) ]) `Single
+      & info [ "mode" ] ~docv:"MODE" ~doc:"single | burst | dhe")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"CSV output path.")
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Run one scan over the simulated Top Million; emit CSV observations.")
+    Term.(ret (const scan $ domains_arg $ seed_arg $ mode $ out))
+
+(* --- reproduce / experiment ----------------------------------------------------------- *)
+
+let run_experiments ids domains days seed verbose =
+  let config = study_config ~domains ~days ~seed ~verbose in
+  let study = Tlsharm.Study.create ~config () in
+  let named =
+    Tlsharm.Experiments.by_name
+    @ [
+        ( "google",
+          fun st ->
+            let a = Tlsharm.Target_analysis.analyze st ~operator:"google" ~flagship:"google.com" in
+            Tlsharm.Target_analysis.report a
+            ^ "\n"
+            ^ Tlsharm.Target_analysis.static_stek_contrast st ~flagship:"yandex.ru" );
+        ("ablations", Tlsharm.Mitigations.report);
+        ("tls13", Tlsharm.Tls13_projection.report);
+      ]
+  in
+  let selected = match ids with [] -> List.map fst named | ids -> ids in
+  let rec go = function
+    | [] -> `Ok ()
+    | id :: rest -> (
+        match List.assoc_opt id named with
+        | Some f ->
+            print_endline (f study);
+            go rest
+        | None ->
+            `Error
+              ( false,
+                Printf.sprintf "unknown experiment %S (available: %s)" id
+                  (String.concat " " (List.map fst named)) ))
+  in
+  go selected
+
+let experiment_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (t1..t7, f1..f8, google, ablations, tls13).") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run selected experiments of the study.")
+    Term.(ret (const run_experiments $ ids $ domains_arg $ days_arg $ seed_arg $ verbose_arg))
+
+let reproduce_cmd =
+  Cmd.v
+    (Cmd.info "reproduce" ~doc:"Run the full study and print every table and figure.")
+    Term.(ret (const (run_experiments []) $ domains_arg $ days_arg $ seed_arg $ verbose_arg))
+
+(* --- campaign / analyze -------------------------------------------------------------------- *)
+
+let campaign domains days seed out =
+  let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let t = Scanner.Daily_scan.run world ~days () in
+  Scanner.Daily_scan.save t out;
+  Printf.printf "wrote %d-day campaign over %d domains to %s\n" days
+    (Array.length t.Scanner.Daily_scan.series)
+    out;
+  `Ok ()
+
+let campaign_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "campaign.csv"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Campaign CSV output path.")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a daily longitudinal campaign and archive it as CSV.")
+    Term.(ret (const campaign $ domains_arg $ days_arg $ seed_arg $ out))
+
+let analyze path =
+  match Scanner.Daily_scan.load path with
+  | Error e -> `Error (false, e)
+  | Ok campaign ->
+      let report field name paper =
+        let spans = Analysis.Lifetime.analyze ~field campaign in
+        let s = Analysis.Lifetime.summarize spans in
+        let pct v = Analysis.Report.fmt_pct (v /. s.Analysis.Lifetime.population) in
+        Printf.printf "%-6s never=%s daily=%s 7d+=%s 30d+=%s   (paper: %s)\n" name
+          (pct s.Analysis.Lifetime.never_observed)
+          (pct s.Analysis.Lifetime.changed_daily)
+          (pct s.Analysis.Lifetime.span_7d_plus)
+          (pct s.Analysis.Lifetime.span_30d_plus)
+          paper;
+        let top = Analysis.Lifetime.top_reusers ~min_days:7 ~limit:5 spans in
+        List.iter
+          (fun (x : Analysis.Lifetime.domain_spans) ->
+            Printf.printf "         r%-7d %-40s %2d days\n" x.Analysis.Lifetime.rank
+              x.Analysis.Lifetime.domain x.Analysis.Lifetime.max_span_days)
+          top
+      in
+      Printf.printf "campaign: %d domains, %d days\n\n"
+        (Array.length campaign.Scanner.Daily_scan.series)
+        campaign.Scanner.Daily_scan.n_days;
+      report Analysis.Lifetime.Stek "STEK" "23% never, 41% daily, 22% 7d+, 10% 30d+";
+      report Analysis.Lifetime.Dhe "DHE" "1.2% 7d+ of trusted";
+      report Analysis.Lifetime.Ecdhe "ECDHE" "3.0% 7d+ of trusted";
+      `Ok ()
+
+let analyze_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Campaign CSV.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Re-analyze an archived campaign CSV (secret-lifetime spans).")
+    Term.(ret (const analyze $ path))
+
+(* --- posture --------------------------------------------------------------------------- *)
+
+let posture domains seed targets =
+  let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let targets =
+    match targets with
+    | [] -> [ "google.com"; "yahoo.com"; "netflix.com"; "yandex.ru" ]
+    | l -> l
+  in
+  List.iter
+    (fun domain ->
+      print_endline (Tlsharm.Posture.report (Tlsharm.Posture.assess world ~domain ()));
+      print_newline ())
+    targets;
+  `Ok ()
+
+let posture_cmd =
+  let targets = Arg.(value & pos_all string [] & info [] ~docv:"DOMAIN" ~doc:"Domains to assess.") in
+  Cmd.v
+    (Cmd.info "posture"
+       ~doc:
+         "Grade domains' forward-secrecy posture (resumption windows, STEK rotation, ephemeral           hygiene) - the per-site view of the study.")
+    Term.(ret (const posture $ domains_arg $ seed_arg $ targets))
+
+(* --- attack-demo ------------------------------------------------------------------------ *)
+
+let attack_demo () =
+  let env = Tls.Config.sim_env () in
+  let rng = Crypto.Drbg.create ~seed:"attack-demo" in
+  let ca =
+    Tls.Cert.self_signed ~curve:env.Tls.Config.pki_curve ~name:"Demo CA" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:1 rng
+  in
+  let key = Crypto.Ecdsa.gen_keypair env.Tls.Config.pki_curve rng in
+  let cert =
+    Tls.Cert.issue ca ~curve:env.Tls.Config.pki_curve ~subject:"victim.example" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:2
+      ~pub:(Crypto.Ec.point_bytes env.Tls.Config.pki_curve (Crypto.Ecdsa.public_key key))
+      rng
+  in
+  let server ~shortcuts =
+    Tls.Server.create
+      ~config:
+        {
+          Tls.Config.env;
+          suites = [ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ];
+          issue_session_ids = shortcuts;
+          session_cache =
+            (if shortcuts then Some (Tls.Session_cache.create ~lifetime:36_000 ~capacity:1000)
+             else None);
+          tickets =
+            (if shortcuts then
+               Some
+                 {
+                   Tls.Config.stek_manager =
+                     Tls.Stek_manager.create ~policy:Tls.Stek_manager.Static ~secret:"demo" ~now:0;
+                   lifetime_hint = 36_000;
+                   accept_lifetime = 36_000;
+                   reissue_on_resumption = true;
+                 }
+             else None);
+          kex_cache =
+            Tls.Kex_cache.uniform
+              ~policy:(if shortcuts then Tls.Kex_cache.Reuse_forever else Tls.Kex_cache.Fresh_always);
+          cert_chain = [ cert ];
+          cert_key = key;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"demo-server")
+  in
+  let client =
+    Tls.Client.create
+      ~config:
+        {
+          Tls.Config.cl_env = env;
+          offer_suites = Tls.Types.all_cipher_suites;
+          offer_ticket = true;
+          root_store = Tls.Cert.store_of_list [ Tls.Cert.authority_cert ca ];
+          check_certs = false;
+          evaluate_trust = false;
+          verify_ske = true;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"demo-client") ()
+  in
+  let run ~shortcuts label =
+    let server = server ~shortcuts in
+    Printf.printf "== %s ==\n" label;
+    match
+      Tlsharm.Attack.victim_connection client server ~now:100 ~hostname:"victim.example"
+        ~offer:Tls.Client.Fresh
+    with
+    | Error e -> Printf.printf "victim connection failed: %s\n" e
+    | Ok recording ->
+        Printf.printf "victim sent (ground truth): %S\n" recording.Tlsharm.Attack.plaintext;
+        List.iter
+          (fun (name, result) ->
+            match result with
+            | Ok plain -> Printf.printf "  %-22s -> DECRYPTED: %S\n" name plain
+            | Error e -> Printf.printf "  %-22s -> failed (%s)\n" name e)
+          (Tlsharm.Attack.attempt_all recording ~server ~env ~now:200)
+  in
+  run ~shortcuts:true "server with crypto shortcuts (tickets + cache + reused ECDHE)";
+  print_newline ();
+  run ~shortcuts:false "server with forward secrecy done right (no shortcuts)";
+  `Ok ()
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack-demo"
+       ~doc:"Demonstrate the stolen-STEK / stolen-DH-value / stolen-cache decryptions end to end.")
+    Term.(ret (const attack_demo $ const ()))
+
+(* --- main --------------------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Measuring the security harm of TLS crypto shortcuts (IMC 2016), reproduced." in
+  let info = Cmd.info "tlsharm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval (Cmd.group info [ world_info_cmd; scan_cmd; reproduce_cmd; experiment_cmd; campaign_cmd; analyze_cmd; posture_cmd; attack_cmd ]))

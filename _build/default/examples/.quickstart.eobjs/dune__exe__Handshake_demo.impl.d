@@ -1,0 +1,1 @@
+examples/handshake_demo.ml: Crypto Format List Option Printf String Tls Tlsharm Wire

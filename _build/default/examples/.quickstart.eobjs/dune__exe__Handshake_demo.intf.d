@@ -1,0 +1,1 @@
+examples/handshake_demo.mli:

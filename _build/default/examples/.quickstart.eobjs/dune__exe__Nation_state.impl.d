@@ -1,0 +1,1 @@
+examples/nation_state.ml: Array Crypto Format Option Printf Simnet String Tls Tlsharm Wire

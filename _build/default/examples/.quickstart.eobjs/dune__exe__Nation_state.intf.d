@@ -1,0 +1,1 @@
+examples/nation_state.mli:

@@ -1,0 +1,1 @@
+examples/operator_hardening.ml: Analysis Hashtbl List Option Printf Simnet Tlsharm

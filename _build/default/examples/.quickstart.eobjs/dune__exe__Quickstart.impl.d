@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis List Printf Simnet Tlsharm

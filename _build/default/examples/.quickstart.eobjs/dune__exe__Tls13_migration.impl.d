@@ -1,0 +1,1 @@
+examples/tls13_migration.ml: Crypto Option Printf Simnet String Tls Tlsharm

@@ -1,0 +1,1 @@
+examples/tls13_migration.mli:

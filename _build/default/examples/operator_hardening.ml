@@ -1,0 +1,51 @@
+(* Section 8.2: what the operator recommendations buy.
+
+   Runs the measurement study once, then re-evaluates the combined
+   vulnerability-window distribution (Figure 8) under each recommended
+   mitigation — frequent STEK rotation, short session caches, no
+   ephemeral reuse — and under the maximum-security "no shortcuts"
+   configuration.
+
+     dune exec examples/operator_hardening.exe *)
+
+let () =
+  let config =
+    {
+      Tlsharm.Study.world_config =
+        { Simnet.World.default_config with Simnet.World.n_domains = 2000 };
+      campaign_days = 21;
+      verbose = true;
+    }
+  in
+  let study = Tlsharm.Study.create ~config () in
+  print_endline (Tlsharm.Mitigations.report study);
+
+  (* Drill into one mitigation: what dominates the residual exposure once
+     STEKs rotate daily? *)
+  let components = Tlsharm.Study.vulnerability_components study in
+  let rotated =
+    Analysis.Vuln_window.windows_of_components
+      ~mitigate:(fun c ->
+        { c with Analysis.Vuln_window.stek_span_days = min 1 c.Analysis.Vuln_window.stek_span_days })
+      components
+  in
+  let day = 86_400 in
+  let still_exposed =
+    List.filter (fun w -> w.Analysis.Vuln_window.seconds > day) rotated
+  in
+  let by_mechanism = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let m = w.Analysis.Vuln_window.dominant in
+      Hashtbl.replace by_mechanism m
+        (w.Analysis.Vuln_window.weight
+        +. Option.value ~default:0.0 (Hashtbl.find_opt by_mechanism m)))
+    still_exposed;
+  print_endline "\nResidual >24h exposure after daily STEK rotation, by dominant mechanism:";
+  Hashtbl.iter
+    (fun m w -> Printf.printf "  %-16s %8.0f weighted domains\n" m w)
+    by_mechanism;
+  print_endline
+    "\n(Reading: once tickets rotate, what remains is long session caches and (EC)DHE\n\
+     value reuse — each recommendation closes a different hole, which is why the paper\n\
+     lists all of them.)"

@@ -1,0 +1,1 @@
+lib/analysis/lifetime.ml: Array Hashtbl List Scanner Stats

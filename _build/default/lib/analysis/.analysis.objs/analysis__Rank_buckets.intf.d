@@ -1,0 +1,1 @@
+lib/analysis/rank_buckets.mli: Lifetime

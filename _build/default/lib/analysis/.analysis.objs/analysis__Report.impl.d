@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Buffer List Printf Stats String

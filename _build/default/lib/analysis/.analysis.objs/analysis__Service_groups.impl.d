@@ -1,0 +1,1 @@
+lib/analysis/service_groups.ml: Hashtbl List Option Printf Scanner Simnet String Union_find

@@ -1,0 +1,1 @@
+lib/analysis/service_groups.mli: Hashtbl Scanner Simnet

@@ -1,0 +1,1 @@
+lib/analysis/treemap.ml: Buffer Float List Option Service_groups Stats String

@@ -1,0 +1,1 @@
+lib/analysis/treemap.mli: Service_groups

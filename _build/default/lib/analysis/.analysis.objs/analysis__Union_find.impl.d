@@ -1,0 +1,1 @@
+lib/analysis/union_find.ml: Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/analysis/union_find.mli:

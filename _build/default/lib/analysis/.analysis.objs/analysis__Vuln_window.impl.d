@@ -1,0 +1,1 @@
+lib/analysis/vuln_window.ml: Hashtbl Lifetime List Option Scanner Stats

@@ -1,0 +1,1 @@
+lib/analysis/vuln_window.mli: Lifetime Scanner Stats

@@ -1,0 +1,61 @@
+(* Figure 4: STEK lifetime as a function of Alexa rank. Domains are
+   bucketed by rank tier (Top 100 / 1K / 10K / 100K / 1M, cumulative like
+   the paper's axis) and each tier reports its STEK-span distribution. *)
+
+type tier = { upper_rank : int; label : string }
+
+let tiers =
+  [
+    { upper_rank = 100; label = "Top 100" };
+    { upper_rank = 1_000; label = "Top 1K" };
+    { upper_rank = 10_000; label = "Top 10K" };
+    { upper_rank = 100_000; label = "Top 100K" };
+    { upper_rank = 1_000_000; label = "Top 1M" };
+  ]
+
+type tier_summary = {
+  t : tier;
+  issuers : float; (* weighted ticket-issuing domains in the tier *)
+  sampled_issuers : int;
+  share_1d : float; (* STEK changed daily *)
+  share_2_6d : float;
+  share_7_29d : float;
+  share_30d_plus : float;
+  median_days : float;
+}
+
+(* [spans] must already be restricted to the analysis population; only
+   domains that ever issued a ticket (span >= 1) count as issuers. *)
+let analyze (spans : Lifetime.domain_spans list) =
+  List.map
+    (fun t ->
+      let members =
+        List.filter
+          (fun (s : Lifetime.domain_spans) ->
+            s.Lifetime.rank <= t.upper_rank && s.Lifetime.max_span_days >= 1)
+          spans
+      in
+      let total = List.fold_left (fun acc s -> acc +. s.Lifetime.weight) 0.0 members in
+      let share f =
+        if total <= 0.0 then 0.0
+        else
+          List.fold_left (fun acc s -> if f s then acc +. s.Lifetime.weight else acc) 0.0 members
+          /. total
+      in
+      let points =
+        List.map
+          (fun (s : Lifetime.domain_spans) ->
+            { Stats.value = float_of_int s.Lifetime.max_span_days; weight = s.Lifetime.weight })
+          members
+      in
+      {
+        t;
+        issuers = total;
+        sampled_issuers = List.length members;
+        share_1d = share (fun s -> s.Lifetime.max_span_days = 1);
+        share_2_6d = share (fun s -> s.Lifetime.max_span_days >= 2 && s.Lifetime.max_span_days <= 6);
+        share_7_29d = share (fun s -> s.Lifetime.max_span_days >= 7 && s.Lifetime.max_span_days <= 29);
+        share_30d_plus = share (fun s -> s.Lifetime.max_span_days >= 30);
+        median_days = Stats.median points;
+      })
+    tiers

@@ -1,0 +1,147 @@
+(* Service groups: sets of domains sharing TLS secret state (Section 5).
+   Three constructions, one per mechanism:
+
+   - session caches (Table 5): union the edges observed by the
+     cross-domain resumption probe, transitively;
+   - STEKs (Table 6): domains that ever presented the same STEK key name;
+   - Diffie-Hellman values (Table 7): domains that ever presented the
+     same server (EC)DHE public value.
+
+   Group sizes are reported both as sampled-member counts and as weighted
+   counts (estimating real Top Million domain counts). *)
+
+type group = {
+  members : string list;
+  sampled_size : int;
+  weighted_size : float;
+  label : string; (* dominant operator, for presentation *)
+}
+
+let build_groups ~world members_of_key =
+  let uf = Union_find.create () in
+  Hashtbl.iter
+    (fun _key members ->
+      match members with
+      | [] -> ()
+      | first :: rest ->
+          (* Register singletons too: a domain sharing with nobody is its
+             own (singleton) service group, like the paper's 86%. *)
+          Union_find.add uf first;
+          List.iter (fun m -> Union_find.union uf first m) rest)
+    members_of_key;
+  let weight_of name =
+    match Simnet.World.find_domain world name with
+    | Some d -> Simnet.World.domain_weight d
+    | None -> 1.0
+  in
+  let operator_of name =
+    match Simnet.World.find_domain world name with
+    | Some d -> Simnet.World.domain_operator d
+    | None -> "?"
+  in
+  Union_find.groups uf
+  |> List.map (fun members ->
+         let weighted_size = List.fold_left (fun acc m -> acc +. weight_of m) 0.0 members in
+         (* Label by the operator contributing the most weight. *)
+         let per_op = Hashtbl.create 8 in
+         List.iter
+           (fun m ->
+             let op = operator_of m in
+             Hashtbl.replace per_op op
+               (weight_of m +. Option.value ~default:0.0 (Hashtbl.find_opt per_op op)))
+           members;
+         let label =
+           Hashtbl.fold
+             (fun op w (best_op, best_w) -> if w > best_w then (op, w) else (best_op, best_w))
+             per_op ("?", 0.0)
+           |> fst
+         in
+         { members; sampled_size = List.length members; weighted_size; label })
+  |> List.sort (fun a b -> compare b.weighted_size a.weighted_size)
+
+(* --- Per-mechanism constructors --------------------------------------------- *)
+
+(* From key (an identifier string) to the domains that presented it. *)
+let index_of_values pairs =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (key, domain) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      if not (List.exists (String.equal domain) existing) then
+        Hashtbl.replace tbl key (domain :: existing))
+    pairs;
+  tbl
+
+(* STEK groups from burst-scan results: every (stek id, domain) sighting. *)
+let stek_groups ~world (results : Scanner.Burst_scan.domain_result list) =
+  let pairs =
+    List.concat_map
+      (fun (r : Scanner.Burst_scan.domain_result) ->
+        Scanner.Burst_scan.result_values ~field:`Stek r
+        |> List.map (fun v -> (v, r.Scanner.Burst_scan.domain)))
+      results
+  in
+  build_groups ~world (index_of_values pairs)
+
+(* Diffie-Hellman groups: DHE and ECDHE value sightings combined, as in
+   the paper's Table 7. *)
+let dh_groups ~world (results : Scanner.Burst_scan.domain_result list) =
+  let pairs =
+    List.concat_map
+      (fun (r : Scanner.Burst_scan.domain_result) ->
+        let dhe =
+          Scanner.Burst_scan.result_values ~field:`Dhe r
+          |> List.map (fun v -> ("dhe:" ^ v, r.Scanner.Burst_scan.domain))
+        in
+        let ecdhe =
+          Scanner.Burst_scan.result_values ~field:`Ecdhe r
+          |> List.map (fun v -> ("ec:" ^ v, r.Scanner.Burst_scan.domain))
+        in
+        dhe @ ecdhe)
+      results
+  in
+  build_groups ~world (index_of_values pairs)
+
+(* Session-cache groups from cross-probe edges. Participants that shared
+   with nobody form singleton groups, like the paper's 86%. *)
+let session_cache_groups ~world (result : Scanner.Cross_probe.result) =
+  let tbl = Hashtbl.create 1024 in
+  List.iteri
+    (fun i (e : Scanner.Cross_probe.edge) ->
+      Hashtbl.replace tbl (Printf.sprintf "edge%d" i)
+        [ e.Scanner.Cross_probe.from_domain; e.Scanner.Cross_probe.to_domain ])
+    result.Scanner.Cross_probe.edges;
+  List.iteri
+    (fun i name -> Hashtbl.replace tbl (Printf.sprintf "self%d" i) [ name ])
+    result.Scanner.Cross_probe.participants;
+  build_groups ~world tbl
+
+(* Concentration: the weighted share of a population covered by the K
+   largest groups — the section 6 "concentration of secrets" measure
+   (the ten largest shared caches covered 15% of the Top Million; the two
+   largest STEK groups 20% of HTTPS sites). *)
+let top_coverage ?(k = 10) groups ~population_weight =
+  if population_weight <= 0.0 then 0.0
+  else
+    List.filteri (fun i _ -> i < k) groups
+    |> List.fold_left (fun acc g -> acc +. g.weighted_size) 0.0
+    |> fun covered -> covered /. population_weight
+
+(* Summary shares: how many groups, how many singletons, the largest. *)
+type summary = {
+  n_groups : int;
+  n_singletons : int;
+  largest : group option;
+  multi_domain_weight : float; (* weighted domains sharing with >= 1 other *)
+}
+
+let summarize groups =
+  {
+    n_groups = List.length groups;
+    n_singletons = List.length (List.filter (fun g -> g.sampled_size = 1) groups);
+    largest = (match groups with [] -> None | g :: _ -> Some g);
+    multi_domain_weight =
+      List.fold_left
+        (fun acc g -> if g.sampled_size > 1 then acc +. g.weighted_size else acc)
+        0.0 groups;
+  }

@@ -1,0 +1,100 @@
+(* Weighted descriptive statistics for the analyses: empirical CDFs,
+   percentiles and share-of-population counts. Weights are the sampling
+   weights the world assigns (how many real Top Million domains a sampled
+   domain represents), so weighted fractions estimate the fractions the
+   paper reports. *)
+
+type weighted = { value : float; weight : float }
+
+let total_weight points = List.fold_left (fun acc p -> acc +. p.weight) 0.0 points
+
+(* Weighted fraction of points satisfying a predicate. *)
+let fraction points pred =
+  let total = total_weight points in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc p -> if pred p.value then acc +. p.weight else acc) 0.0 points
+    /. total
+
+(* An empirical CDF: sorted (value, cumulative fraction) steps. *)
+type cdf = (float * float) list
+
+let cdf points : cdf =
+  let sorted = List.sort (fun a b -> compare a.value b.value) points in
+  let total = total_weight sorted in
+  if total <= 0.0 then []
+  else begin
+    let acc = ref 0.0 in
+    (* Collapse duplicate values to their final cumulative height. *)
+    let steps =
+      List.map
+        (fun p ->
+          acc := !acc +. p.weight;
+          (p.value, !acc /. total))
+        sorted
+    in
+    let rec dedup = function
+      | (v1, _) :: ((v2, _) :: _ as rest) when v1 = v2 -> dedup rest
+      | step :: rest -> step :: dedup rest
+      | [] -> []
+    in
+    dedup steps
+  end
+
+(* Fraction of mass at or below [x]. *)
+let cdf_at (c : cdf) x =
+  let rec go last = function
+    | [] -> last
+    | (v, f) :: rest -> if v <= x then go f rest else last
+  in
+  go 0.0 c
+
+let percentile points q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let sorted = List.sort (fun a b -> compare a.value b.value) points in
+  let total = total_weight sorted in
+  if total <= 0.0 then nan
+  else begin
+    let target = q *. total in
+    let rec go acc = function
+      | [] -> nan
+      | [ p ] -> p.value
+      | p :: rest -> if acc +. p.weight >= target then p.value else go (acc +. p.weight) rest
+    in
+    go 0.0 sorted
+  end
+
+let median points = percentile points 0.5
+
+let mean points =
+  let total = total_weight points in
+  if total <= 0.0 then nan
+  else List.fold_left (fun acc p -> acc +. (p.value *. p.weight)) 0.0 points /. total
+
+(* Weighted histogram over explicit bucket upper bounds (ascending); the
+   final bucket is open-ended. Returns per-bucket weight. *)
+let histogram ~bounds points =
+  let n = List.length bounds + 1 in
+  let buckets = Array.make n 0.0 in
+  let bounds_arr = Array.of_list bounds in
+  List.iter
+    (fun p ->
+      let rec find i =
+        if i >= Array.length bounds_arr then Array.length bounds_arr
+        else if p.value <= bounds_arr.(i) then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      buckets.(i) <- buckets.(i) +. p.weight)
+    points;
+  buckets
+
+(* Human-readable durations for axis labels. *)
+let pp_duration ppf seconds =
+  let s = int_of_float seconds in
+  if s < 60 then Format.fprintf ppf "%ds" s
+  else if s < 3600 then Format.fprintf ppf "%dm" (s / 60)
+  else if s < 86_400 then Format.fprintf ppf "%dh" (s / 3600)
+  else Format.fprintf ppf "%dd" (s / 86_400)
+
+let duration_to_string seconds = Format.asprintf "%a" pp_duration seconds

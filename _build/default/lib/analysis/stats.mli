@@ -1,0 +1,32 @@
+(** Weighted descriptive statistics: empirical CDFs, percentiles and
+    share-of-population counts. Weights are the world's sampling weights,
+    so weighted fractions estimate the Top Million fractions the paper
+    reports. *)
+
+type weighted = { value : float; weight : float }
+
+val total_weight : weighted list -> float
+
+val fraction : weighted list -> (float -> bool) -> float
+(** Weighted share of points satisfying the predicate (0 on empty). *)
+
+type cdf = (float * float) list
+(** Sorted (value, cumulative fraction) steps. *)
+
+val cdf : weighted list -> cdf
+
+val cdf_at : cdf -> float -> float
+(** Fraction of mass at or below [x]. *)
+
+val percentile : weighted list -> float -> float
+(** [percentile points q] with [q] in [0,1]; [nan] on empty input. *)
+
+val median : weighted list -> float
+val mean : weighted list -> float
+
+val histogram : bounds:float list -> weighted list -> float array
+(** Per-bucket weight over ascending upper bounds; the final bucket is
+    open-ended. *)
+
+val pp_duration : Format.formatter -> float -> unit
+val duration_to_string : float -> string

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Crypto Format List String Tls

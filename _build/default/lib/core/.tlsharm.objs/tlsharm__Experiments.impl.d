@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Analysis Array Buffer Float Hashtbl List Option Printf Scanner Simnet String Study

@@ -1,0 +1,1 @@
+lib/core/mitigations.ml: Analysis List Study

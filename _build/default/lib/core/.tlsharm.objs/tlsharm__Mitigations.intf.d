@@ -1,0 +1,1 @@
+lib/core/mitigations.mli: Analysis Study

@@ -1,0 +1,1 @@
+lib/core/posture.ml: Analysis Hashtbl List Option Printf Scanner Simnet String Tls

@@ -1,0 +1,1 @@
+lib/core/study.ml: Analysis Format List Scanner Simnet

@@ -1,0 +1,1 @@
+lib/core/study.mli: Analysis Scanner Simnet

@@ -1,0 +1,1 @@
+lib/core/target_analysis.ml: Analysis Array List Option Printf Scanner Simnet String Study Tls Wire

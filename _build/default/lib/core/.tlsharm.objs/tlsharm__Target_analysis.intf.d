@@ -1,0 +1,1 @@
+lib/core/target_analysis.mli: Simnet Study

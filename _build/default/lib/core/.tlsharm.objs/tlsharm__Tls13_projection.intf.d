@@ -1,0 +1,1 @@
+lib/core/tls13_projection.mli: Analysis Study

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Buffer Char Format Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Array Bignum Buffer Bytes Char Hmac List Printf String

@@ -1,0 +1,1 @@
+lib/crypto/ec.ml: Bignum Dh Drbg Hashtbl Lazy Printf String

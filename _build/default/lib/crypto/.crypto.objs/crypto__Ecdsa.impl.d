@@ -1,0 +1,1 @@
+lib/crypto/ecdsa.ml: Bignum Drbg Ec Sha256 String

@@ -1,0 +1,210 @@
+(* AES (FIPS 197) block cipher: 128/192/256-bit keys, encrypt and decrypt.
+
+   The S-box is computed from its definition (GF(2^8) inversion followed by
+   the affine transform) rather than transcribed, and the whole cipher is
+   checked against the FIPS 197 known-answer vectors in the test suite. *)
+
+(* --- GF(2^8) arithmetic, reduction polynomial x^8+x^4+x^3+x+1 (0x11b) --- *)
+
+let xtime b =
+  let b' = b lsl 1 in
+  if b' land 0x100 <> 0 then (b' lxor 0x1b) land 0xff else b'
+
+let gf_mul a b =
+  let acc = ref 0 in
+  let a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc land 0xff
+
+(* --- S-box ------------------------------------------------------------- *)
+
+let sbox, inv_sbox =
+  let gf_inv x =
+    if x = 0 then 0
+    else begin
+      (* Brute-force inverse: 255 candidates, done once at module init. *)
+      let rec find y = if gf_mul x y = 1 then y else find (y + 1) in
+      find 1
+    end
+  in
+  let rotl8 v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+  let s = Array.make 256 0 in
+  let si = Array.make 256 0 in
+  for x = 0 to 255 do
+    let b = gf_inv x in
+    let v = b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63 in
+    s.(x) <- v
+  done;
+  for x = 0 to 255 do
+    si.(s.(x)) <- x
+  done;
+  (s, si)
+
+(* Precomputed GF(2^8) multiplication tables for the MixColumns
+   coefficients; one lookup instead of a shift-and-xor loop per byte. *)
+let mul_table c = Array.init 256 (fun x -> gf_mul c x)
+
+let m2 = mul_table 2
+let m3 = mul_table 3
+let m9 = mul_table 9
+let m11 = mul_table 11
+let m13 = mul_table 13
+let m14 = mul_table 14
+
+let rcon =
+  (* Round constants: successive powers of x in GF(2^8). *)
+  let r = Array.make 15 0 in
+  let v = ref 1 in
+  for i = 1 to 14 do
+    r.(i) <- !v;
+    v := xtime !v
+  done;
+  r
+
+(* --- Key schedule ------------------------------------------------------- *)
+
+type t = {
+  round_keys : int array; (* (nr+1) * 16 bytes *)
+  nr : int;
+}
+
+let expand_key key =
+  let nk =
+    match String.length key with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | n -> invalid_arg (Printf.sprintf "Aes.of_key: bad key length %d" n)
+  in
+  let nr = nk + 6 in
+  let words = Array.make (4 * (nr + 1)) 0 in
+  for i = 0 to nk - 1 do
+    words.(i) <-
+      (Char.code key.[4 * i] lsl 24)
+      lor (Char.code key.[(4 * i) + 1] lsl 16)
+      lor (Char.code key.[(4 * i) + 2] lsl 8)
+      lor Char.code key.[(4 * i) + 3]
+  done;
+  let sub_word w =
+    (sbox.((w lsr 24) land 0xff) lsl 24)
+    lor (sbox.((w lsr 16) land 0xff) lsl 16)
+    lor (sbox.((w lsr 8) land 0xff) lsl 8)
+    lor sbox.(w land 0xff)
+  in
+  let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xffffffff in
+  for i = nk to (4 * (nr + 1)) - 1 do
+    let temp = ref words.(i - 1) in
+    if i mod nk = 0 then temp := sub_word (rot_word !temp) lxor (rcon.(i / nk) lsl 24)
+    else if nk > 6 && i mod nk = 4 then temp := sub_word !temp;
+    words.(i) <- words.(i - nk) lxor !temp
+  done;
+  (* Flatten to a byte array: round_keys.(16*r + 4*c + row). *)
+  let rk = Array.make (16 * (nr + 1)) 0 in
+  Array.iteri
+    (fun i w ->
+      rk.(4 * i) <- (w lsr 24) land 0xff;
+      rk.((4 * i) + 1) <- (w lsr 16) land 0xff;
+      rk.((4 * i) + 2) <- (w lsr 8) land 0xff;
+      rk.((4 * i) + 3) <- w land 0xff)
+    words;
+  { round_keys = rk; nr }
+
+let of_key = expand_key
+
+(* --- Block operations ---------------------------------------------------
+   State layout: state.(4*col + row), matching the byte order of the input
+   block read column-major as in FIPS 197. *)
+
+let add_round_key t state round =
+  let off = 16 * round in
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor t.round_keys.(off + i)
+  done
+
+let sub_bytes state = Array.iteri (fun i v -> state.(i) <- sbox.(v)) state
+let inv_sub_bytes state = Array.iteri (fun i v -> state.(i) <- inv_sbox.(v)) state
+
+(* Row [r] lives at indices r, r+4, r+8, r+12; ShiftRows rotates row r left
+   by r positions. *)
+let shift_rows state =
+  let tmp = Array.copy state in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      state.((4 * c) + r) <- tmp.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows state =
+  let tmp = Array.copy state in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      state.((4 * ((c + r) mod 4)) + r) <- tmp.((4 * c) + r)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let s0 = state.(4 * c)
+    and s1 = state.((4 * c) + 1)
+    and s2 = state.((4 * c) + 2)
+    and s3 = state.((4 * c) + 3) in
+    state.(4 * c) <- m2.(s0) lxor m3.(s1) lxor s2 lxor s3;
+    state.((4 * c) + 1) <- s0 lxor m2.(s1) lxor m3.(s2) lxor s3;
+    state.((4 * c) + 2) <- s0 lxor s1 lxor m2.(s2) lxor m3.(s3);
+    state.((4 * c) + 3) <- m3.(s0) lxor s1 lxor s2 lxor m2.(s3)
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let s0 = state.(4 * c)
+    and s1 = state.((4 * c) + 1)
+    and s2 = state.((4 * c) + 2)
+    and s3 = state.((4 * c) + 3) in
+    state.(4 * c) <- m14.(s0) lxor m11.(s1) lxor m13.(s2) lxor m9.(s3);
+    state.((4 * c) + 1) <- m9.(s0) lxor m14.(s1) lxor m11.(s2) lxor m13.(s3);
+    state.((4 * c) + 2) <- m13.(s0) lxor m9.(s1) lxor m14.(s2) lxor m11.(s3);
+    state.((4 * c) + 3) <- m11.(s0) lxor m13.(s1) lxor m9.(s2) lxor m14.(s3)
+  done
+
+let block_size = 16
+
+let check_block name s =
+  if String.length s <> block_size then
+    invalid_arg (name ^ ": block must be 16 bytes")
+
+let state_of_block s = Array.init 16 (fun i -> Char.code s.[i])
+let block_of_state st = String.init 16 (fun i -> Char.chr st.(i))
+
+let encrypt_block t block =
+  check_block "Aes.encrypt_block" block;
+  let state = state_of_block block in
+  add_round_key t state 0;
+  for round = 1 to t.nr - 1 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key t state round
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key t state t.nr;
+  block_of_state state
+
+let decrypt_block t block =
+  check_block "Aes.decrypt_block" block;
+  let state = state_of_block block in
+  add_round_key t state t.nr;
+  for round = t.nr - 1 downto 1 do
+    inv_shift_rows state;
+    inv_sub_bytes state;
+    add_round_key t state round;
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  add_round_key t state 0;
+  block_of_state state

@@ -1,0 +1,13 @@
+(** AES (FIPS 197) block cipher with 128/192/256-bit keys. *)
+
+type t
+(** An expanded key schedule, usable for both directions. *)
+
+val of_key : string -> t
+(** Raises [Invalid_argument] unless the key is 16, 24 or 32 bytes. *)
+
+val block_size : int
+(** 16. *)
+
+val encrypt_block : t -> string -> string
+val decrypt_block : t -> string -> string

@@ -1,0 +1,557 @@
+(* Arbitrary-precision unsigned integers ("naturals") built from scratch:
+   the container has no zarith, and the (EC)DHE substrate needs modular
+   exponentiation over 64..2048-bit moduli.
+
+   Representation: little-endian [int array] of 26-bit limbs with no leading
+   zero limbs ([zero] is the empty array). 26-bit limbs keep every
+   intermediate product of the schoolbook and Montgomery multipliers within
+   53 bits, comfortably inside OCaml's 63-bit native ints.
+
+   The one performance-sensitive operation is [pow_mod], which uses
+   Montgomery (CIOS) multiplication for odd moduli; everything else is
+   simple and obviously-correct schoolbook code. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+(* Strip leading (high-order) zero limbs to restore canonical form. *)
+let norm (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs v = if v = 0 then [] else (v land mask) :: limbs (v lsr limb_bits) in
+  Array.of_list (limbs v)
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt (a : t) =
+  (* Fits when it has at most two limbs plus 11 low bits of a third. *)
+  let n = Array.length a in
+  if n > 3 then None
+  else
+    let v = ref 0 in
+    let ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > max_int lsr limb_bits then ok := false
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+
+let to_int_exn a =
+  match to_int_opt a with
+  | Some v -> v
+  | None -> invalid_arg "Bignum.to_int_exn: does not fit"
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+let is_one a = equal a one
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+
+let test_bit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let is_even a = not (test_bit a 0)
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  norm out
+
+(* [sub a b] requires [a >= b]. *)
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  norm out
+
+let add_int a v = add a (of_int v)
+let sub_int a v = sub a (of_int v)
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      (* Propagate the final carry; it can span several limbs because the
+         target slot may already hold accumulated value. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = out.(!k) + !carry in
+        out.(!k) <- s land mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    norm out
+  end
+
+let mul_int a v = mul a (of_int v)
+
+let shift_left (a : t) bits : t =
+  if bits < 0 then invalid_arg "Bignum.shift_left: negative";
+  if is_zero a || bits = 0 then a
+  else
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl off in
+      out.(i + limbs) <- out.(i + limbs) lor (v land mask);
+      out.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    norm out
+
+let shift_right (a : t) bits : t =
+  if bits < 0 then invalid_arg "Bignum.shift_right: negative";
+  if is_zero a || bits = 0 then a
+  else
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else
+      let n = la - limbs in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr off in
+        let hi =
+          if off = 0 || i + limbs + 1 >= la then 0
+          else (a.(i + limbs + 1) lsl (limb_bits - off)) land mask
+        in
+        out.(i) <- lo lor hi
+      done;
+      norm out
+
+(* Binary long division: not fast, but it only runs during setup
+   (Montgomery context construction, conversions) and in tests, never in
+   the per-handshake hot path. *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let bits = num_bits a in
+    let q = Array.make (Array.length a) 0 in
+    (* Remainder kept as a mutable window at most one limb longer than b. *)
+    let rlen = Array.length b + 1 in
+    let r = Array.make rlen 0 in
+    let r_ge_b () =
+      let rec go i =
+        if i < 0 then true
+        else
+          let bv = if i < Array.length b then b.(i) else 0 in
+          if r.(i) <> bv then r.(i) > bv else go (i - 1)
+      in
+      go (rlen - 1)
+    in
+    let r_sub_b () =
+      let borrow = ref 0 in
+      for i = 0 to rlen - 1 do
+        let bv = if i < Array.length b then b.(i) else 0 in
+        let d = r.(i) - bv - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done;
+      assert (!borrow = 0)
+    in
+    let r_shl1_or bit =
+      let carry = ref bit in
+      for i = 0 to rlen - 1 do
+        let v = (r.(i) lsl 1) lor !carry in
+        r.(i) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      (* The remainder never outgrows b by more than one bit before the
+         conditional subtraction below, so the final carry is always 0. *)
+      assert (!carry = 0)
+    in
+    for i = bits - 1 downto 0 do
+      r_shl1_or (if test_bit a i then 1 else 0);
+      if r_ge_b () then begin
+        r_sub_b ();
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (norm q, norm r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* --- Montgomery arithmetic (odd modulus) ------------------------------- *)
+
+type mont = {
+  m : int array; (* modulus, padded to [n] limbs *)
+  modulus : t; (* canonical copy, for reductions *)
+  n : int; (* limb count *)
+  n0' : int; (* -m^-1 mod 2^26 *)
+  r2 : int array; (* R^2 mod m, padded, R = 2^(26n) *)
+}
+
+let mont_of_modulus (m : t) : mont =
+  if is_zero m || is_even m then invalid_arg "Bignum.mont_of_modulus: modulus must be odd";
+  let n = Array.length m in
+  let padded = Array.make n 0 in
+  Array.blit m 0 padded 0 n;
+  (* n0' = -m0^-1 mod 2^26 via Newton iteration (5 steps reach 32 bits). *)
+  let m0 = m.(0) in
+  let inv = ref 1 in
+  for _ = 1 to 5 do
+    inv := !inv * (2 - (m0 * !inv)) land mask
+  done;
+  let n0' = base - !inv land mask in
+  let n0' = n0' land mask in
+  let r_mod_m = rem (shift_left one (n * limb_bits)) m in
+  let r2 = rem (mul r_mod_m r_mod_m) m in
+  let r2p = Array.make n 0 in
+  Array.blit r2 0 r2p 0 (Array.length r2);
+  { m = padded; modulus = m; n; n0' = n0'; r2 = r2p }
+
+(* CIOS Montgomery multiplication: out = a * b * R^-1 mod m.
+   [a], [b] and the result are n-limb arrays (not necessarily canonical). *)
+let mont_mul ctx (a : int array) (b : int array) : int array =
+  let n = ctx.n in
+  let m = ctx.m in
+  let t = Array.make (n + 2) 0 in
+  for i = 0 to n - 1 do
+    let ai = a.(i) in
+    let carry = ref 0 in
+    for j = 0 to n - 1 do
+      let s = t.(j) + (ai * b.(j)) + !carry in
+      t.(j) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    let s = t.(n) + !carry in
+    t.(n) <- s land mask;
+    t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+    let mi = t.(0) * ctx.n0' land mask in
+    let s = t.(0) + (mi * m.(0)) in
+    let carry = ref (s lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let s = t.(j) + (mi * m.(j)) + !carry in
+      t.(j - 1) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    let s = t.(n) + !carry in
+    t.(n - 1) <- s land mask;
+    t.(n) <- t.(n + 1) + (s lsr limb_bits);
+    t.(n + 1) <- 0
+  done;
+  let out = Array.sub t 0 n in
+  (* Conditional final subtraction: t may be in [0, 2m). *)
+  let ge =
+    if t.(n) > 0 then true
+    else begin
+      let rec go i =
+        if i < 0 then true else if out.(i) <> m.(i) then out.(i) > m.(i) else go (i - 1)
+      in
+      go (n - 1)
+    end
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let d = out.(i) - m.(i) - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  out
+
+let pad_to n (a : t) =
+  let out = Array.make n 0 in
+  Array.blit a 0 out 0 (Array.length a);
+  out
+
+(* a^e mod m. Montgomery square-and-multiply for odd m; generic
+   square-and-multiply with binary reduction otherwise. *)
+let rec pow_mod (a : t) (e : t) (m : t) : t =
+  if is_zero m then raise Division_by_zero;
+  if is_one m then zero
+  else if is_zero e then rem one m
+  else if is_even m then begin
+    (* Right-to-left square and multiply with explicit reduction; even
+       moduli never occur on hot paths. *)
+    let e_bits = num_bits e in
+    let acc = ref (rem one m) in
+    let b = ref (rem a m) in
+    for i = 0 to e_bits - 1 do
+      if test_bit e i then acc := rem (mul !acc !b) m;
+      if i < e_bits - 1 then b := rem (mul !b !b) m
+    done;
+    !acc
+  end
+  else pow_mod_ctx (mont_of_modulus m) a e
+
+and pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
+  if is_zero e then rem one ctx.modulus
+  else begin
+    let n = ctx.n in
+    let am = mont_mul ctx (pad_to n (rem a ctx.modulus)) ctx.r2 in
+    let acc = ref (mont_mul ctx (pad_to n one) ctx.r2) in
+    for i = num_bits e - 1 downto 0 do
+      acc := mont_mul ctx !acc !acc;
+      if test_bit e i then acc := mont_mul ctx !acc am
+    done;
+    norm (mont_mul ctx !acc (pad_to n one))
+  end
+
+(* Modular inverse for prime modulus via Fermat's little theorem. Every
+   modulus we invert under (EC field primes) is prime. *)
+let mod_inverse_prime (a : t) (p : t) : t =
+  let a = rem a p in
+  if is_zero a then invalid_arg "Bignum.mod_inverse_prime: zero has no inverse";
+  pow_mod a (sub p two) p
+
+(* --- Prime-field elements in Montgomery form ----------------------------
+   Elliptic-curve point arithmetic performs long chains of modular
+   multiplications; keeping operands in Montgomery form makes each one a
+   single CIOS pass instead of a multiply followed by binary division. *)
+
+module Field = struct
+  type ctx = mont
+  type fe = int array (* n-limb, Montgomery form, < m *)
+
+  (* Aliases for whole-number operations shadowed by the field ops below. *)
+  let bignum_sub = sub
+
+  let create (m : t) : ctx = mont_of_modulus m
+  let modulus (c : ctx) = c.modulus
+
+  let of_bignum (c : ctx) (a : t) : fe = mont_mul c (pad_to c.n (rem a c.modulus)) c.r2
+  let to_bignum (c : ctx) (a : fe) : t = norm (mont_mul c a (pad_to c.n one))
+
+  let zero (c : ctx) : fe = Array.make c.n 0
+  let one (c : ctx) : fe = of_bignum c one
+
+  let is_zero (a : fe) = Array.for_all (fun v -> v = 0) a
+  let equal (a : fe) (b : fe) = a = b
+
+  let add (c : ctx) (a : fe) (b : fe) : fe =
+    let n = c.n in
+    let out = Array.make n 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let s = a.(i) + b.(i) + !carry in
+      out.(i) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    (* Reduce once if out >= m (sum < 2m so one subtraction suffices). *)
+    let ge =
+      !carry > 0
+      ||
+      let rec go i =
+        if i < 0 then true
+        else if out.(i) <> c.m.(i) then out.(i) > c.m.(i)
+        else go (i - 1)
+      in
+      go (n - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let d = out.(i) - c.m.(i) - !borrow in
+        if d < 0 then begin
+          out.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          out.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    out
+
+  let sub (c : ctx) (a : fe) (b : fe) : fe =
+    let n = c.n in
+    let out = Array.make n 0 in
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let d = a.(i) - b.(i) - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done;
+    if !borrow = 1 then begin
+      (* Underflow: add the modulus back. *)
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = out.(i) + c.m.(i) + !carry in
+        out.(i) <- s land mask;
+        carry := s lsr limb_bits
+      done
+    end;
+    out
+
+  let mul (c : ctx) (a : fe) (b : fe) : fe = mont_mul c a b
+  let sqr (c : ctx) (a : fe) : fe = mont_mul c a a
+
+  let mul_small (c : ctx) (a : fe) k =
+    (* k is a small non-negative int (<= 8 in practice); double-and-add
+       keeps this logarithmic — it sits on the EC hot path. *)
+    if k = 0 then zero c
+    else begin
+      let rec go k = if k = 1 then a else
+        let half = go (k / 2) in
+        let dbl = add c half half in
+        if k land 1 = 1 then add c dbl a else dbl
+      in
+      go k
+    end
+
+  let neg (c : ctx) (a : fe) : fe = sub c (zero c) a
+
+  let inv (c : ctx) (a : fe) : fe =
+    (* Fermat inversion; modulus is prime for every caller. *)
+    let av = to_bignum c a in
+    if is_zero av then invalid_arg "Field.inv: zero";
+    of_bignum c (pow_mod_ctx c av (bignum_sub c.modulus two))
+
+  let pow (c : ctx) (a : fe) (e : t) : fe =
+    let acc = ref (one c) in
+    for i = num_bits e - 1 downto 0 do
+      acc := sqr c !acc;
+      if test_bit e i then acc := mul c !acc a
+    done;
+    !acc
+end
+
+(* --- Conversions -------------------------------------------------------- *)
+
+let of_bytes_be (s : string) : t =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?len (a : t) : string =
+  let nbytes = (num_bits a + 7) / 8 in
+  let nbytes = max nbytes 1 in
+  let width = match len with None -> nbytes | Some l -> l in
+  if nbytes > width then invalid_arg "Bignum.to_bytes_be: value too wide";
+  String.init width (fun i ->
+      let byte_index = width - 1 - i in
+      let bit = byte_index * 8 in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      if limb >= Array.length a then '\000'
+      else
+        let lo = a.(limb) lsr off in
+        let hi =
+          if limb + 1 < Array.length a && off > limb_bits - 8 then
+            a.(limb + 1) lsl (limb_bits - off)
+          else 0
+        in
+        Char.chr ((lo lor hi) land 0xff))
+
+let of_hex h = of_bytes_be (Wire.Hex.decode h)
+
+let to_hex a = Wire.Hex.encode (to_bytes_be a)
+
+let pp ppf a = Format.fprintf ppf "0x%s" (to_hex a)
+
+(* Decimal rendering, for human-readable sizes in reports. *)
+let to_decimal (a : t) : string =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let ten = of_int 10 in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod a ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int_exn r))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_decimal (s : string) : t =
+  if s = "" then invalid_arg "Bignum.of_decimal: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Bignum.of_decimal: bad digit")
+    s;
+  !acc

@@ -1,0 +1,106 @@
+(** Arbitrary-precision unsigned integers (naturals), built from scratch
+    because the sealed container has no zarith. Little-endian arrays of
+    26-bit limbs; all values are immutable and canonical.
+
+    [pow_mod] uses Montgomery (CIOS) multiplication for odd moduli, which
+    covers every (EC)DH group in this project; a cached context
+    ({!mont_of_modulus} + {!pow_mod_ctx}) avoids per-call setup on hot
+    paths. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int_opt : t -> int option
+val to_int_exn : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val test_bit : t -> int -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Raises [Invalid_argument] if the result would be negative. *)
+
+val add_int : t -> int -> t
+val sub_int : t -> int -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)]. Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val gcd : t -> t -> t
+
+val pow_mod : t -> t -> t -> t
+(** [pow_mod a e m] is [a{^e} mod m]. *)
+
+type mont
+(** Cached Montgomery context for a fixed odd modulus. *)
+
+val mont_of_modulus : t -> mont
+(** Raises [Invalid_argument] if the modulus is even or zero. *)
+
+val pow_mod_ctx : mont -> t -> t -> t
+(** [pow_mod_ctx ctx a e] is [a{^e} mod m] for the context's modulus. *)
+
+val mod_inverse_prime : t -> t -> t
+(** [mod_inverse_prime a p] for prime [p] via Fermat's little theorem.
+    Raises [Invalid_argument] if [a mod p = 0]. *)
+
+(** Prime-field elements kept in Montgomery form, so long chains of modular
+    multiplications (elliptic-curve point arithmetic) cost one CIOS pass
+    each. The modulus must be odd; callers use prime moduli. *)
+module Field : sig
+  type ctx
+  type fe
+
+  val create : t -> ctx
+  val modulus : ctx -> t
+  val of_bignum : ctx -> t -> fe
+  val to_bignum : ctx -> fe -> t
+  val zero : ctx -> fe
+  val one : ctx -> fe
+  val is_zero : fe -> bool
+  val equal : fe -> fe -> bool
+  val add : ctx -> fe -> fe -> fe
+  val sub : ctx -> fe -> fe -> fe
+  val mul : ctx -> fe -> fe -> fe
+  val sqr : ctx -> fe -> fe
+
+  val mul_small : ctx -> fe -> int -> fe
+  (** Multiply by a small non-negative integer via repeated addition. *)
+
+  val neg : ctx -> fe -> fe
+
+  val inv : ctx -> fe -> fe
+  (** Fermat inversion; requires a prime modulus and a nonzero argument. *)
+
+  val pow : ctx -> fe -> t -> fe
+end
+
+val of_bytes_be : string -> t
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian; zero-padded on the left to [len] when given. Raises
+    [Invalid_argument] if the value does not fit in [len] bytes. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+val of_decimal : string -> t
+val to_decimal : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+(* Block-cipher modes of operation over {!Aes}: CBC with PKCS#7 padding
+   (the RFC 5077 recommended ticket construction) and CTR (used by the
+   record layer's toy AEAD). *)
+
+let bs = Aes.block_size
+
+let xor_block a b =
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* --- PKCS#7 padding ------------------------------------------------------ *)
+
+let pkcs7_pad s =
+  let pad = bs - (String.length s mod bs) in
+  s ^ String.make pad (Char.chr pad)
+
+let pkcs7_unpad s =
+  let n = String.length s in
+  if n = 0 || n mod bs <> 0 then Error "pkcs7: bad length"
+  else
+    let pad = Char.code s.[n - 1] in
+    if pad = 0 || pad > bs then Error "pkcs7: bad padding byte"
+    else
+      let ok = ref true in
+      for i = n - pad to n - 1 do
+        if Char.code s.[i] <> pad then ok := false
+      done;
+      if !ok then Ok (String.sub s 0 (n - pad)) else Error "pkcs7: inconsistent padding"
+
+(* --- CBC ----------------------------------------------------------------- *)
+
+let cbc_encrypt key ~iv plaintext =
+  if String.length iv <> bs then invalid_arg "Block_mode.cbc_encrypt: bad IV";
+  let padded = pkcs7_pad plaintext in
+  let nblocks = String.length padded / bs in
+  let out = Buffer.create (String.length padded) in
+  let prev = ref iv in
+  for i = 0 to nblocks - 1 do
+    let block = String.sub padded (i * bs) bs in
+    let c = Aes.encrypt_block key (xor_block block !prev) in
+    Buffer.add_string out c;
+    prev := c
+  done;
+  Buffer.contents out
+
+let cbc_decrypt key ~iv ciphertext =
+  if String.length iv <> bs then invalid_arg "Block_mode.cbc_decrypt: bad IV";
+  let n = String.length ciphertext in
+  if n = 0 || n mod bs <> 0 then Error "cbc: ciphertext not block-aligned"
+  else begin
+    let out = Buffer.create n in
+    let prev = ref iv in
+    for i = 0 to (n / bs) - 1 do
+      let block = String.sub ciphertext (i * bs) bs in
+      Buffer.add_string out (xor_block (Aes.decrypt_block key block) !prev);
+      prev := block
+    done;
+    pkcs7_unpad (Buffer.contents out)
+  end
+
+(* --- CTR ----------------------------------------------------------------- *)
+
+(* The counter occupies the last 8 bytes of the 16-byte block, big-endian. *)
+let ctr_block nonce counter =
+  let b = Bytes.make bs '\000' in
+  Bytes.blit_string nonce 0 b 0 (min (String.length nonce) 8);
+  for i = 0 to 7 do
+    Bytes.set b (8 + i) (Char.chr ((counter lsr (8 * (7 - i))) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+let ctr_transform key ~nonce data =
+  if String.length nonce > 8 then invalid_arg "Block_mode.ctr: nonce too long";
+  let n = String.length data in
+  let out = Bytes.create n in
+  let i = ref 0 in
+  let counter = ref 0 in
+  while !i < n do
+    let keystream = Aes.encrypt_block key (ctr_block nonce !counter) in
+    let chunk = min bs (n - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.set out (!i + j) (Char.chr (Char.code data.[!i + j] lxor Char.code keystream.[j]))
+    done;
+    i := !i + chunk;
+    incr counter
+  done;
+  Bytes.unsafe_to_string out
+
+let ctr_encrypt = ctr_transform
+let ctr_decrypt = ctr_transform

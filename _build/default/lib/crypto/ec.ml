@@ -1,0 +1,272 @@
+(* Elliptic-curve groups in short Weierstrass form y^2 = x^3 + ax + b over
+   a prime field, with Jacobian-coordinate point arithmetic.
+
+   Two kinds of curves are provided, mirroring {!Dh}: [p256] is the real
+   NIST P-256 curve (the dominant TLS ECDHE curve in 2016), used by tests,
+   examples and benches; [generate_small ~bits ~seed] deterministically
+   builds a small supersingular curve (y^2 = x^3 + x over p = 4q - 1 with
+   q prime, group order 4q) so simulation sweeps can run millions of
+   handshakes. Both are real EC groups exercising the same code path; the
+   small curves' cryptographic weakness (MOV) is irrelevant to the
+   measurements, as discussed in DESIGN.md.
+
+   Arithmetic is not constant-time; this library measures protocol
+   behaviour, it does not defend live traffic. *)
+
+module F = Bignum.Field
+
+type curve = {
+  name : string;
+  fctx : F.ctx;
+  a : F.fe;
+  b : F.fe;
+  a_is_minus3 : bool;
+  gx : Bignum.t;
+  gy : Bignum.t;
+  n : Bignum.t; (* order of the base point *)
+  h : int; (* cofactor *)
+  n_mont : Bignum.mont Lazy.t; (* cached context for mod-n arithmetic (ECDSA) *)
+}
+
+type point = Inf | Affine of Bignum.t * Bignum.t
+
+let curve_name c = c.name
+let curve_p c = F.modulus c.fctx
+let curve_order c = c.n
+let base_point c = Affine (c.gx, c.gy)
+
+let make_curve ~name ~p ~a ~b ~gx ~gy ~n ~h =
+  let fctx = F.create p in
+  let a_fe = F.of_bignum fctx a in
+  {
+    name;
+    fctx;
+    a = a_fe;
+    b = F.of_bignum fctx b;
+    a_is_minus3 = Bignum.equal a (Bignum.sub_int p 3);
+    gx;
+    gy;
+    n;
+    h;
+    n_mont = lazy (Bignum.mont_of_modulus n);
+  }
+
+(* Inverse modulo the (prime) group order, with a cached Montgomery
+   context — ECDSA calls this once per signature and verification. *)
+let mod_order_inverse c (a : Bignum.t) =
+  let a = Bignum.rem a c.n in
+  if Bignum.is_zero a then invalid_arg "Ec.mod_order_inverse: zero";
+  Bignum.pow_mod_ctx (Lazy.force c.n_mont) a (Bignum.sub c.n Bignum.two)
+
+(* NIST P-256 (secp256r1) domain parameters; the test suite validates them
+   structurally (base point on curve, n * G = infinity, p and n prime). *)
+let p256 =
+  let p = Bignum.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
+  make_curve ~name:"secp256r1" ~p
+    ~a:(Bignum.sub_int p 3)
+    ~b:(Bignum.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+    ~gx:(Bignum.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+    ~gy:(Bignum.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+    ~n:(Bignum.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+    ~h:1
+
+let on_curve c = function
+  | Inf -> true
+  | Affine (x, y) ->
+      let fctx = c.fctx in
+      let xf = F.of_bignum fctx x and yf = F.of_bignum fctx y in
+      let lhs = F.sqr fctx yf in
+      let rhs = F.add fctx (F.mul fctx (F.sqr fctx xf) xf) (F.add fctx (F.mul fctx c.a xf) c.b) in
+      F.equal lhs rhs
+
+(* --- Jacobian arithmetic -------------------------------------------------
+   (X, Y, Z) represents affine (X/Z^2, Y/Z^3); Z = 0 is infinity. *)
+
+type jac = { x : F.fe; y : F.fe; z : F.fe }
+
+let jac_inf c = { x = F.one c.fctx; y = F.one c.fctx; z = F.zero c.fctx }
+let jac_is_inf j = F.is_zero j.z
+
+let to_jac c = function
+  | Inf -> jac_inf c
+  | Affine (x, y) ->
+      { x = F.of_bignum c.fctx x; y = F.of_bignum c.fctx y; z = F.one c.fctx }
+
+let of_jac c j =
+  if jac_is_inf j then Inf
+  else begin
+    let f = c.fctx in
+    let zinv = F.inv f j.z in
+    let zinv2 = F.sqr f zinv in
+    let x = F.mul f j.x zinv2 in
+    let y = F.mul f j.y (F.mul f zinv2 zinv) in
+    Affine (F.to_bignum f x, F.to_bignum f y)
+  end
+
+let jac_double c j =
+  if jac_is_inf j || F.is_zero j.y then jac_inf c
+  else begin
+    let f = c.fctx in
+    let y2 = F.sqr f j.y in
+    let s = F.mul_small f (F.mul f j.x y2) 4 in
+    let m =
+      if c.a_is_minus3 then begin
+        (* 3(X - Z^2)(X + Z^2) *)
+        let z2 = F.sqr f j.z in
+        F.mul_small f (F.mul f (F.sub f j.x z2) (F.add f j.x z2)) 3
+      end
+      else begin
+        let x2 = F.sqr f j.x in
+        let z4 = F.sqr f (F.sqr f j.z) in
+        F.add f (F.mul_small f x2 3) (F.mul f c.a z4)
+      end
+    in
+    let x' = F.sub f (F.sqr f m) (F.mul_small f s 2) in
+    let y' = F.sub f (F.mul f m (F.sub f s x')) (F.mul_small f (F.sqr f y2) 8) in
+    let z' = F.mul_small f (F.mul f j.y j.z) 2 in
+    { x = x'; y = y'; z = z' }
+  end
+
+let jac_add c p q =
+  if jac_is_inf p then q
+  else if jac_is_inf q then p
+  else begin
+    let f = c.fctx in
+    let z12 = F.sqr f p.z and z2'2 = F.sqr f q.z in
+    let u1 = F.mul f p.x z2'2 and u2 = F.mul f q.x z12 in
+    let s1 = F.mul f p.y (F.mul f z2'2 q.z) and s2 = F.mul f q.y (F.mul f z12 p.z) in
+    if F.equal u1 u2 then
+      if F.equal s1 s2 then jac_double c p else jac_inf c
+    else begin
+      let h = F.sub f u2 u1 in
+      let r = F.sub f s2 s1 in
+      let h2 = F.sqr f h in
+      let h3 = F.mul f h2 h in
+      let u1h2 = F.mul f u1 h2 in
+      let x3 = F.sub f (F.sub f (F.sqr f r) h3) (F.mul_small f u1h2 2) in
+      let y3 = F.sub f (F.mul f r (F.sub f u1h2 x3)) (F.mul f s1 h3) in
+      let z3 = F.mul f h (F.mul f p.z q.z) in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let add c p q = of_jac c (jac_add c (to_jac c p) (to_jac c q))
+let double c p = of_jac c (jac_double c (to_jac c p))
+
+let neg _c = function Inf -> Inf | Affine (x, y) -> Affine (x, y)
+[@@warning "-32"]
+
+let scalar_mult c k p =
+  if Bignum.is_zero k then Inf
+  else begin
+    let base = to_jac c p in
+    let acc = ref (jac_inf c) in
+    for i = Bignum.num_bits k - 1 downto 0 do
+      acc := jac_double c !acc;
+      if Bignum.test_bit k i then acc := jac_add c !acc base
+    done;
+    of_jac c !acc
+  end
+
+let scalar_mult_base c k = scalar_mult c k (base_point c)
+
+(* --- Small-curve generation ----------------------------------------------
+   For p = 4q - 1 with p, q prime (so p = 3 mod 4), the curve
+   y^2 = x^3 + x over F_p is supersingular with exactly p + 1 = 4q points.
+   Clearing the cofactor 4 from any point lands in a subgroup of prime
+   order q. Square roots use z^((p+1)/4), valid because p = 3 mod 4. *)
+let generate_small_cache : (int * string, curve) Hashtbl.t = Hashtbl.create 8
+
+let generate_small_uncached ~bits ~seed =
+  if bits < 24 || bits > 128 then invalid_arg "Ec.generate_small: bits out of range";
+  let rng = Drbg.create ~seed:(Printf.sprintf "ec-curve:%s:%d" seed bits) in
+  let rec find_p () =
+    let raw = Bignum.of_bytes_be (Drbg.generate rng ((bits + 7) / 8)) in
+    let q =
+      Bignum.add
+        (Bignum.rem raw (Bignum.shift_left Bignum.one (bits - 3)))
+        (Bignum.shift_left Bignum.one (bits - 3))
+    in
+    let q = if Bignum.is_even q then Bignum.add_int q 1 else q in
+    if not (Dh.is_probably_prime ~rounds:16 ~rng q) then find_p ()
+    else
+      let p = Bignum.sub_int (Bignum.shift_left q 2) 1 in
+      if Dh.is_probably_prime ~rounds:16 ~rng p then (p, q) else find_p ()
+  in
+  let p, q = find_p () in
+  let fctx = F.create p in
+  let sqrt_exp = Bignum.shift_right (Bignum.add_int p 1) 2 in
+  let legendre_exp = Bignum.shift_right (Bignum.sub_int p 1) 1 in
+  let curve_rhs xf = F.add fctx (F.mul fctx (F.sqr fctx xf) xf) xf in
+  let rec find_g () =
+    let x = Drbg.bignum_below rng p in
+    let xf = F.of_bignum fctx x in
+    let z = curve_rhs xf in
+    if F.is_zero z then find_g ()
+    else if not (F.equal (F.pow fctx z legendre_exp) (F.one fctx)) then find_g ()
+    else begin
+      let yf = F.pow fctx z sqrt_exp in
+      let y = F.to_bignum fctx yf in
+      let c =
+        make_curve
+          ~name:(Printf.sprintf "sim-ss%d(%s)" bits seed)
+          ~p ~a:Bignum.one ~b:Bignum.zero ~gx:(F.to_bignum fctx xf) ~gy:y ~n:q ~h:4
+      in
+      (* Clear the cofactor to land in the order-q subgroup. *)
+      match scalar_mult c (Bignum.of_int 4) (Affine (F.to_bignum fctx xf, y)) with
+      | Inf -> find_g ()
+      | Affine (gx, gy) -> { c with gx; gy }
+    end
+  in
+  find_g ()
+
+let generate_small ~bits ~seed =
+  match Hashtbl.find_opt generate_small_cache (bits, seed) with
+  | Some c -> c
+  | None ->
+      let c = generate_small_uncached ~bits ~seed in
+      Hashtbl.replace generate_small_cache (bits, seed) c;
+      c
+
+(* --- Key exchange --------------------------------------------------------- *)
+
+type keypair = { curve : curve; priv : Bignum.t; pub : point }
+
+let gen_keypair curve rng =
+  let priv = Drbg.bignum_in_group rng curve.n in
+  { curve; priv; pub = scalar_mult_base curve priv }
+
+let field_len c = (Bignum.num_bits (curve_p c) + 7) / 8
+
+(* Uncompressed SEC1 point encoding: 0x04 || X || Y. *)
+let point_bytes c = function
+  | Inf -> "\x00"
+  | Affine (x, y) ->
+      let l = field_len c in
+      "\x04" ^ Bignum.to_bytes_be ~len:l x ^ Bignum.to_bytes_be ~len:l y
+
+let point_of_bytes c s =
+  if s = "\x00" then Ok Inf
+  else
+    let l = field_len c in
+    if String.length s <> 1 + (2 * l) || s.[0] <> '\x04' then Error "ec: bad point encoding"
+    else
+      let x = Bignum.of_bytes_be (String.sub s 1 l) in
+      let y = Bignum.of_bytes_be (String.sub s (1 + l) l) in
+      let pt = Affine (x, y) in
+      if on_curve c pt then Ok pt else Error "ec: point not on curve"
+
+let public_bytes kp = point_bytes kp.curve kp.pub
+
+let shared_secret kp ~peer_pub =
+  match peer_pub with
+  | Inf -> Error "ec: peer public is infinity"
+  | Affine _ when not (on_curve kp.curve peer_pub) -> Error "ec: peer point not on curve"
+  | Affine _ -> (
+      (* Clear the cofactor: rejects small-subgroup confinement. *)
+      let shared = scalar_mult kp.curve kp.priv peer_pub in
+      match shared with
+      | Inf -> Error "ec: degenerate shared point"
+      | Affine (x, _) ->
+          (* TLS uses the x-coordinate of the shared point. *)
+          Ok (Bignum.to_bytes_be ~len:(field_len kp.curve) x))

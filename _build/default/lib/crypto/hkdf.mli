@@ -1,0 +1,15 @@
+(** HKDF (RFC 5869) over HMAC-SHA256, with the TLS 1.3 labeled variants
+    (RFC 8446, section 7.1). *)
+
+val hash_len : int
+(** 32. *)
+
+val extract : ?salt:string -> string -> string
+(** [extract ~salt ikm] is the PRK; an empty salt means a zeroed one. *)
+
+val expand : prk:string -> info:string -> int -> string
+
+val expand_label : secret:string -> label:string -> context:string -> int -> string
+(** TLS 1.3 HKDF-Expand-Label (the ["tls13 "] prefix is added here). *)
+
+val derive_secret : secret:string -> label:string -> transcript_hash:string -> string

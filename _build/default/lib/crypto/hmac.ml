@@ -1,0 +1,23 @@
+(* HMAC-SHA256 (RFC 2104), verified against the RFC 4231 vectors in the
+   test suite. *)
+
+let xor_pad key pad =
+  String.init Sha256.block_size (fun i ->
+      let k = if i < String.length key then Char.code key.[i] else 0 in
+      Char.chr (k lxor pad))
+
+let sha256 ~key msg =
+  let key = if String.length key > Sha256.block_size then Sha256.digest key else key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+(* Constant-time comparison: MAC checks must not leak a prefix-length
+   timing signal. *)
+let equal_ct a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let verify ~key ~msg ~tag = equal_ct (sha256 ~key msg) tag

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val equal_ct : string -> string -> bool
+(** Constant-time equality for MAC tags. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool

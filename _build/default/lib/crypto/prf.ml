@@ -1,0 +1,36 @@
+(* The TLS 1.2 pseudorandom function (RFC 5246 section 5): P_SHA256 over
+   HMAC-SHA256, plus the two standard derivations the handshake needs. *)
+
+let p_sha256 ~secret ~seed n =
+  let buf = Buffer.create n in
+  let a = ref (Hmac.sha256 ~key:secret seed) in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Hmac.sha256 ~key:secret (!a ^ seed));
+    a := Hmac.sha256 ~key:secret !a
+  done;
+  Buffer.sub buf 0 n
+
+let prf ~secret ~label ~seed n = p_sha256 ~secret ~seed:(label ^ seed) n
+
+let master_secret_len = 48
+
+let master_secret ~pre_master ~client_random ~server_random =
+  prf ~secret:pre_master ~label:"master secret"
+    ~seed:(client_random ^ server_random)
+    master_secret_len
+
+let key_block ~master ~client_random ~server_random n =
+  (* Note the reversed random order relative to the master secret
+     derivation, as specified in RFC 5246 section 6.3. *)
+  prf ~secret:master ~label:"key expansion" ~seed:(server_random ^ client_random) n
+
+let verify_data_len = 12
+
+let finished_verify_data ~master ~label ~handshake_hash =
+  prf ~secret:master ~label ~seed:handshake_hash verify_data_len
+
+let client_finished ~master ~handshake_hash =
+  finished_verify_data ~master ~label:"client finished" ~handshake_hash
+
+let server_finished ~master ~handshake_hash =
+  finished_verify_data ~master ~label:"server finished" ~handshake_hash

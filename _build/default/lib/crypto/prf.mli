@@ -1,0 +1,19 @@
+(** TLS 1.2 pseudorandom function (RFC 5246, section 5) and the standard
+    handshake derivations built on it. *)
+
+val p_sha256 : secret:string -> seed:string -> int -> string
+val prf : secret:string -> label:string -> seed:string -> int -> string
+
+val master_secret_len : int
+(** 48 bytes. *)
+
+val master_secret :
+  pre_master:string -> client_random:string -> server_random:string -> string
+
+val key_block : master:string -> client_random:string -> server_random:string -> int -> string
+
+val verify_data_len : int
+(** 12 bytes. *)
+
+val client_finished : master:string -> handshake_hash:string -> string
+val server_finished : master:string -> handshake_hash:string -> string

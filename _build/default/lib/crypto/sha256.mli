@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4). *)
+
+type t
+(** Streaming hash state. *)
+
+val init : unit -> t
+val update : t -> string -> unit
+
+val finalize : t -> string
+(** Returns the 32-byte digest. The state must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot digest. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation of the parts, without building it. *)
+
+val digest_size : int
+val block_size : int

@@ -1,0 +1,1 @@
+lib/scanner/burst_scan.ml: Array Hashtbl List Observation Option Probe Simnet String

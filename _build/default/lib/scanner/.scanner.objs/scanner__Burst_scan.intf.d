@@ -1,0 +1,1 @@
+lib/scanner/burst_scan.mli: Observation Probe Simnet

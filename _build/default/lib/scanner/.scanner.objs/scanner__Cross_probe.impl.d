@@ -1,0 +1,1 @@
+lib/scanner/cross_probe.ml: Array Crypto List Observation Probe Simnet String

@@ -1,0 +1,1 @@
+lib/scanner/cross_probe.mli: Simnet

@@ -1,0 +1,1 @@
+lib/scanner/daily_scan.ml: Array Fun Hashtbl List Observation Option Printf Probe Result Simnet String

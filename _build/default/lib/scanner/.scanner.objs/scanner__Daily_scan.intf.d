@@ -1,0 +1,1 @@
+lib/scanner/daily_scan.mli: Simnet

@@ -1,0 +1,1 @@
+lib/scanner/observation.ml: Fun List Option Printf String Tls

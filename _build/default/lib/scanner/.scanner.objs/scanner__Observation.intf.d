@@ -1,0 +1,1 @@
+lib/scanner/observation.mli: Tls

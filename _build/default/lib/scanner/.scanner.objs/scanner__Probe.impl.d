@@ -1,0 +1,1 @@
+lib/scanner/probe.ml: Crypto Hashtbl Observation Option Result Simnet String Tls Wire

@@ -1,0 +1,1 @@
+lib/scanner/probe.mli: Hashtbl Observation Simnet Tls

@@ -1,0 +1,1 @@
+lib/scanner/resumption_scan.ml: Array Hashtbl List Observation Probe Simnet Tls

@@ -1,0 +1,1 @@
+lib/scanner/resumption_scan.mli: Probe Simnet

@@ -1,0 +1,15 @@
+(** The cross-domain session-cache experiment of Section 5.1: attempt to
+    resume domain a's session on domain b, sampling up to [per_side]
+    neighbours by AS and by IP per domain; groups grow transitively in
+    the analysis. Probing is harmless — servers fall back to a full
+    handshake on an unknown ID. *)
+
+type edge = { from_domain : string; to_domain : string }
+
+type result = {
+  participants : string list;  (** domains that resumed their own session *)
+  edges : edge list;  (** a's session resumed on b *)
+}
+
+val run :
+  Simnet.World.t -> ?per_side:int -> ?domains:Simnet.World.domain list option -> unit -> result

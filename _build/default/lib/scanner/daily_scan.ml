@@ -1,0 +1,259 @@
+(* The longitudinal campaign of Sections 4.3 and 4.4: connect to every
+   domain daily for nine weeks, recording the STEK identifier from the
+   issued ticket and the server's (EC)DHE public values. Two sweeps per
+   day, mirroring the paper's data sources:
+
+   - the default sweep (all suites offered, ticket extension on) yields
+     the STEK identifier, the lifetime hint and — because almost every
+     server prefers ECDHE — the ECDHE server value (the paper's
+     ECDHE-priority scans);
+   - a DHE-only sweep (the paper used Censys' daily DHE scans) yields the
+     DHE server value, or nothing for servers without DHE.
+
+   Domains absent from that day's Top Million list are skipped, so list
+   churn shows up in the data exactly as it did for the paper. *)
+
+type day_record = {
+  day : int; (* day index from study start *)
+  present : bool; (* domain was in the list that day *)
+  default_ok : bool;
+  stek_id : string option;
+  ticket_hint : int option;
+  ecdhe_value : string option;
+  dhe_ok : bool;
+  dhe_value : string option;
+}
+
+type domain_series = {
+  domain : string;
+  rank : int;
+  weight : float;
+  trusted : bool; (* ever presented a trusted chain *)
+  stable : bool; (* in the list every day *)
+  days : day_record array;
+}
+
+type t = {
+  start_day : int;
+  n_days : int;
+  series : domain_series array;
+}
+
+(* --- Persistence -----------------------------------------------------------
+   Campaigns serialize to a flat CSV (one row per domain-day) so they can
+   be archived and re-analyzed without re-running nine weeks of scans —
+   the project's analog of the paper publishing its data on scans.io. *)
+
+let csv_header =
+  "domain,rank,weight,trusted,stable,day,present,default_ok,stek_id,ticket_hint,ecdhe_value,dhe_ok,dhe_value"
+
+let opt_str = function None -> "" | Some s -> s
+
+let day_row ~(series : domain_series) (r : day_record) =
+  String.concat ","
+    [
+      series.domain;
+      string_of_int series.rank;
+      Printf.sprintf "%.6f" series.weight;
+      string_of_bool series.trusted;
+      string_of_bool series.stable;
+      string_of_int r.day;
+      string_of_bool r.present;
+      string_of_bool r.default_ok;
+      opt_str r.stek_id;
+      (match r.ticket_hint with None -> "" | Some h -> string_of_int h);
+      opt_str r.ecdhe_value;
+      string_of_bool r.dhe_ok;
+      opt_str r.dhe_value;
+    ]
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "#tlsharm-campaign,start_day=%d,n_days=%d\n" t.start_day t.n_days;
+      output_string oc csv_header;
+      output_char oc '\n';
+      Array.iter
+        (fun series ->
+          Array.iter
+            (fun r ->
+              output_string oc (day_row ~series r);
+              output_char oc '\n')
+            series.days)
+        t.series)
+
+let load path =
+  let ( let* ) = Result.bind in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let* start_day, n_days =
+        match input_line ic with
+        | meta when String.length meta > 0 && meta.[0] = '#' -> (
+            match String.split_on_char ',' meta with
+            | [ _; sd; nd ] -> (
+                let field s =
+                  match String.split_on_char '=' s with
+                  | [ _; v ] -> int_of_string_opt v
+                  | _ -> None
+                in
+                match (field sd, field nd) with
+                | Some a, Some b -> Ok (a, b)
+                | _ -> Error "campaign: bad metadata line")
+            | _ -> Error "campaign: bad metadata line")
+        | _ -> Error "campaign: missing metadata line"
+        | exception End_of_file -> Error "campaign: empty file"
+      in
+      let by_domain : (string, domain_series) Hashtbl.t = Hashtbl.create 4096 in
+      let order = ref [] in
+      let parse_row line =
+        match String.split_on_char ',' line with
+        | [ domain; rank; weight; trusted; stable; day; present; ok; stek; hint; ecdhe; dhe_ok; dhe ]
+          -> (
+            let ( let* ) = Option.bind in
+            let blank s = if s = "" then None else Some s in
+            let row =
+              let* rank = int_of_string_opt rank in
+              let* weight = float_of_string_opt weight in
+              let* trusted = bool_of_string_opt trusted in
+              let* stable = bool_of_string_opt stable in
+              let* day = int_of_string_opt day in
+              let* present = bool_of_string_opt present in
+              let* default_ok = bool_of_string_opt ok in
+              let* dhe_ok = bool_of_string_opt dhe_ok in
+              let hint = if hint = "" then None else int_of_string_opt hint in
+              Some
+                ( domain,
+                  rank,
+                  weight,
+                  trusted,
+                  stable,
+                  {
+                    day;
+                    present;
+                    default_ok;
+                    stek_id = blank stek;
+                    ticket_hint = hint;
+                    ecdhe_value = blank ecdhe;
+                    dhe_ok;
+                    dhe_value = blank dhe;
+                  } )
+            in
+            match row with None -> Error ("campaign: bad row: " ^ line) | Some r -> Ok r)
+        | _ -> Error ("campaign: bad row: " ^ line)
+      in
+      let rec read_rows first =
+        match input_line ic with
+        | exception End_of_file -> Ok ()
+        | line when first && String.equal line csv_header -> read_rows false
+        | line ->
+            let* domain, rank, weight, trusted, stable, record = parse_row line in
+            (match Hashtbl.find_opt by_domain domain with
+            | Some series ->
+                if record.day >= 0 && record.day < n_days then
+                  series.days.(record.day) <- record
+            | None ->
+                let days =
+                  Array.init n_days (fun day ->
+                      {
+                        day;
+                        present = false;
+                        default_ok = false;
+                        stek_id = None;
+                        ticket_hint = None;
+                        ecdhe_value = None;
+                        dhe_ok = false;
+                        dhe_value = None;
+                      })
+                in
+                if record.day >= 0 && record.day < n_days then days.(record.day) <- record;
+                Hashtbl.replace by_domain domain { domain; rank; weight; trusted; stable; days };
+                order := domain :: !order);
+            read_rows false
+      in
+      let* () = read_rows true in
+      let series =
+        List.rev !order |> List.map (Hashtbl.find by_domain) |> Array.of_list
+      in
+      Ok { start_day; n_days; series })
+
+let run world ~days ?(progress = fun _ -> ()) () =
+  let clock = Simnet.World.clock world in
+  let start = Simnet.Clock.now clock in
+  let default_probe = Probe.create ~seed:"daily-default" world in
+  let dhe_probe = Probe.dhe_only world ~seed:"daily-dhe" in
+  let domains = Simnet.World.domains world in
+  let n = Array.length domains in
+  let records = Array.make_matrix n days None in
+  for day = 0 to days - 1 do
+    progress day;
+    (* Default sweep at 00:30, DHE sweep at 02:00 local study time. *)
+    Simnet.Clock.set clock (start + (day * Simnet.Clock.day) + (30 * Simnet.Clock.minute));
+    let default_obs = Array.make n None in
+    Array.iteri
+      (fun i d ->
+        if Simnet.World.in_list_on_day d ~day then begin
+          let obs, _ = Probe.connect default_probe ~domain:(Simnet.World.domain_name d) in
+          default_obs.(i) <- Some obs
+        end)
+      domains;
+    Simnet.Clock.set clock (start + (day * Simnet.Clock.day) + (2 * Simnet.Clock.hour));
+    Array.iteri
+      (fun i d ->
+        if Simnet.World.in_list_on_day d ~day then begin
+          let dhe_obs, _ = Probe.connect dhe_probe ~domain:(Simnet.World.domain_name d) in
+          let default_o = default_obs.(i) in
+          records.(i).(day) <-
+            Some
+              {
+                day;
+                present = true;
+                default_ok =
+                  (match default_o with Some o -> o.Observation.ok | None -> false);
+                stek_id = Option.bind default_o (fun o -> o.Observation.stek_id);
+                ticket_hint = Option.bind default_o (fun o -> o.Observation.ticket_hint);
+                ecdhe_value = Option.bind default_o (fun o -> o.Observation.ecdhe_value);
+                dhe_ok = dhe_obs.Observation.ok;
+                dhe_value = dhe_obs.Observation.dhe_value;
+              }
+        end)
+      domains
+  done;
+  (* Leave the clock at the end of the campaign. *)
+  Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
+  let series =
+    Array.mapi
+      (fun i d ->
+        let days_arr =
+          Array.init days (fun day ->
+              match records.(i).(day) with
+              | Some r -> r
+              | None ->
+                  {
+                    day;
+                    present = false;
+                    default_ok = false;
+                    stek_id = None;
+                    ticket_hint = None;
+                    ecdhe_value = None;
+                    dhe_ok = false;
+                    dhe_value = None;
+                  })
+        in
+        {
+          domain = Simnet.World.domain_name d;
+          rank = Simnet.World.domain_rank d;
+          weight = Simnet.World.domain_weight d;
+          trusted =
+            (* Cached by the default probe during the campaign. *)
+            Option.value ~default:false
+              (Hashtbl.find_opt default_probe.Probe.trust_cache (Simnet.World.domain_name d));
+          stable = Simnet.World.domain_stable d;
+          days = days_arr;
+        })
+      domains
+  in
+  { start_day = start / Simnet.Clock.day; n_days = days; series }

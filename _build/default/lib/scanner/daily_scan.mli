@@ -1,0 +1,35 @@
+(** The longitudinal campaign of Sections 4.3-4.4: daily scans over nine
+    weeks recording STEK identifiers and (EC)DHE server values — a
+    default (all-suites, tickets-on) sweep and a DHE-only sweep per day.
+    Domains absent from that day's list are skipped, so churn shows up in
+    the data. Campaigns serialize to CSV (the scans.io analog). *)
+
+type day_record = {
+  day : int;  (** day index from campaign start *)
+  present : bool;
+  default_ok : bool;
+  stek_id : string option;
+  ticket_hint : int option;
+  ecdhe_value : string option;
+  dhe_ok : bool;
+  dhe_value : string option;
+}
+
+type domain_series = {
+  domain : string;
+  rank : int;
+  weight : float;
+  trusted : bool;  (** ever presented a trusted chain *)
+  stable : bool;
+  days : day_record array;
+}
+
+type t = { start_day : int; n_days : int; series : domain_series array }
+
+val run : Simnet.World.t -> days:int -> ?progress:(int -> unit) -> unit -> t
+(** Runs the campaign, advancing the world's clock day by day; leaves the
+    clock at the campaign's end. *)
+
+val csv_header : string
+val save : t -> string -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,136 @@
+(* Typed observation records produced by the scanning experiments — the
+   analog of the ZGrab output rows the paper's analyses consume — plus a
+   CSV round-trip so campaigns can be persisted and re-analyzed. *)
+
+type resumption = No_resumption | By_session_id | By_ticket
+
+let resumption_to_string = function
+  | No_resumption -> "none"
+  | By_session_id -> "id"
+  | By_ticket -> "ticket"
+
+let resumption_of_string = function
+  | "none" -> Some No_resumption
+  | "id" -> Some By_session_id
+  | "ticket" -> Some By_ticket
+  | _ -> None
+
+(* One TLS connection attempt. Option fields are absent when the
+   connection failed or the feature was not exercised. *)
+type conn = {
+  time : int; (* epoch seconds of the attempt *)
+  domain : string;
+  ok : bool;
+  resumed : resumption;
+  cipher : Tls.Types.cipher_suite option;
+  session_id_set : bool; (* server put a session ID in ServerHello *)
+  session_id : string; (* hex; "" if none *)
+  trusted : bool; (* chain validates against the root store *)
+  stek_id : string option; (* hex key name from the issued ticket *)
+  ticket_hint : int option; (* advertised lifetime hint *)
+  dhe_value : string option; (* hex server DHE public value *)
+  ecdhe_value : string option; (* hex server ECDHE public point *)
+}
+
+let failed_conn ~time ~domain =
+  {
+    time;
+    domain;
+    ok = false;
+    resumed = No_resumption;
+    cipher = None;
+    session_id_set = false;
+    session_id = "";
+    trusted = false;
+    stek_id = None;
+    ticket_hint = None;
+    dhe_value = None;
+    ecdhe_value = None;
+  }
+
+(* --- CSV ---------------------------------------------------------------- *)
+
+let csv_header =
+  "time,domain,ok,resumed,cipher,session_id_set,session_id,trusted,stek_id,ticket_hint,dhe_value,ecdhe_value"
+
+let opt_str = function None -> "" | Some s -> s
+let opt_int = function None -> "" | Some i -> string_of_int i
+
+let to_csv_row c =
+  String.concat ","
+    [
+      string_of_int c.time;
+      c.domain;
+      string_of_bool c.ok;
+      resumption_to_string c.resumed;
+      (match c.cipher with
+      | None -> ""
+      | Some s -> string_of_int (Tls.Types.suite_to_int s));
+      string_of_bool c.session_id_set;
+      c.session_id;
+      string_of_bool c.trusted;
+      opt_str c.stek_id;
+      opt_int c.ticket_hint;
+      opt_str c.dhe_value;
+      opt_str c.ecdhe_value;
+    ]
+
+let of_csv_row row =
+  match String.split_on_char ',' row with
+  | [ time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe ] ->
+      let ( let* ) = Option.bind in
+      let* time = int_of_string_opt time in
+      let* ok = bool_of_string_opt ok in
+      let* resumed = resumption_of_string resumed in
+      let* id_set = bool_of_string_opt id_set in
+      let* trusted = bool_of_string_opt trusted in
+      let cipher =
+        if cipher = "" then None
+        else Option.bind (int_of_string_opt cipher) Tls.Types.suite_of_int
+      in
+      let blank_opt s = if s = "" then None else Some s in
+      Some
+        {
+          time;
+          domain;
+          ok;
+          resumed;
+          cipher;
+          session_id_set = id_set;
+          session_id;
+          trusted;
+          stek_id = blank_opt stek;
+          ticket_hint = (if hint = "" then None else int_of_string_opt hint);
+          dhe_value = blank_opt dhe;
+          ecdhe_value = blank_opt ecdhe;
+        }
+  | _ -> None
+
+let write_csv path conns =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc csv_header;
+      output_char oc '\n';
+      List.iter
+        (fun c ->
+          output_string oc (to_csv_row c);
+          output_char oc '\n')
+        conns)
+
+let read_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc first =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line when first && String.equal line csv_header -> go acc false
+        | line -> (
+            match of_csv_row line with
+            | Some c -> go (c :: acc) false
+            | None -> Error (Printf.sprintf "bad CSV row: %s" line))
+      in
+      go [] true)

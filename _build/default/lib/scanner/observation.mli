@@ -1,0 +1,32 @@
+(** Typed observation records produced by the scans — the analog of the
+    ZGrab output rows the paper's analyses consume — with a CSV
+    round-trip for archiving. *)
+
+type resumption = No_resumption | By_session_id | By_ticket
+
+val resumption_to_string : resumption -> string
+val resumption_of_string : string -> resumption option
+
+(** One TLS connection attempt. *)
+type conn = {
+  time : int;  (** epoch seconds of the attempt *)
+  domain : string;
+  ok : bool;
+  resumed : resumption;
+  cipher : Tls.Types.cipher_suite option;
+  session_id_set : bool;
+  session_id : string;  (** hex; [""] if none *)
+  trusted : bool;
+  stek_id : string option;  (** hex STEK key name from the issued ticket *)
+  ticket_hint : int option;
+  dhe_value : string option;  (** hex server DHE public value *)
+  ecdhe_value : string option;
+}
+
+val failed_conn : time:int -> domain:string -> conn
+
+val csv_header : string
+val to_csv_row : conn -> string
+val of_csv_row : string -> conn option
+val write_csv : string -> conn list -> unit
+val read_csv : string -> (conn list, string) result

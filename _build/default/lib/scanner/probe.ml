@@ -1,0 +1,126 @@
+(* A probing client: one TLS connection attempt against the simulated
+   Internet, distilled into an {!Observation.conn}.
+
+   Bulk settings: chain validation runs once per domain through a cache
+   (the certificate cannot change servers' minds mid-study more often
+   than the scanner revisits, and the paper's analyses need one boolean
+   per domain), and ServerKeyExchange signatures are trusted after the
+   engine checked the handshake end-to-end in the test suite — both
+   documented deviations from a paranoid client, made for sweep speed. *)
+
+type t = {
+  world : Simnet.World.t;
+  client : Tls.Client.t;
+  trust_cache : (string, bool) Hashtbl.t;
+  env : Tls.Config.env;
+}
+
+let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ~seed world =
+  let env = Simnet.World.env world in
+  let client =
+    Tls.Client.create
+      ~config:
+        {
+          Tls.Config.cl_env = env;
+          offer_suites;
+          offer_ticket;
+          root_store = Simnet.World.root_store world;
+          check_certs = false;
+          evaluate_trust = false;
+          verify_ske = false;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:("probe:" ^ seed)) ()
+  in
+  { world; client; trust_cache = Hashtbl.create 4096; env }
+
+let dhe_only world ~seed =
+  create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ~seed world
+
+let ecdhe_only world ~seed =
+  create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ~seed world
+
+let evaluate_trust t ~domain ~chain ~now =
+  match Hashtbl.find_opt t.trust_cache domain with
+  | Some v -> v
+  | None ->
+      let v =
+        match chain with
+        | [] -> false
+        | _ ->
+            Result.is_ok
+              (Tls.Cert.validate ~curve:t.env.Tls.Config.pki_curve
+                 ~store:(Simnet.World.root_store t.world) ~now ~hostname:domain chain)
+      in
+      Hashtbl.replace t.trust_cache domain v;
+      v
+
+(* Classify the server's key-exchange value by the negotiated suite. *)
+let kex_fields outcome =
+  match (outcome.Tls.Engine.cipher, outcome.Tls.Engine.server_kex_public) with
+  | Some suite, Some v -> (
+      let hex = Wire.Hex.encode v in
+      match Tls.Types.suite_kex suite with
+      | Tls.Types.Dhe -> (Some hex, None)
+      | Tls.Types.Ecdhe -> (None, Some hex)
+      | Tls.Types.Static_ecdh -> (None, None))
+  | _ -> (None, None)
+
+let observe t ~domain (outcome : Tls.Engine.outcome) ~now =
+  let dhe_value, ecdhe_value = kex_fields outcome in
+  let resumed =
+    match outcome.Tls.Engine.resumed with
+    | `No -> Observation.No_resumption
+    | `Via_session_id -> Observation.By_session_id
+    | `Via_ticket -> Observation.By_ticket
+  in
+  let trusted =
+    match outcome.Tls.Engine.cert_chain with
+    | [] ->
+        (* Resumptions carry no chain; reuse the cached evaluation. *)
+        Option.value ~default:false (Hashtbl.find_opt t.trust_cache domain)
+    | chain -> evaluate_trust t ~domain ~chain ~now
+  in
+  {
+    Observation.time = now;
+    domain;
+    ok = outcome.Tls.Engine.ok;
+    resumed;
+    cipher = outcome.Tls.Engine.cipher;
+    session_id_set = String.length outcome.Tls.Engine.session_id > 0;
+    session_id = Wire.Hex.encode outcome.Tls.Engine.session_id;
+    trusted;
+    stek_id = Option.map Wire.Hex.encode outcome.Tls.Engine.stek_key_name;
+    ticket_hint = Option.map fst outcome.Tls.Engine.new_ticket;
+    dhe_value;
+    ecdhe_value;
+  }
+
+(* Connect once; [offer] controls resumption. Returns the observation and
+   the raw outcome (which carries the session/ticket needed to build the
+   next offer). *)
+let connect ?(offer = Tls.Client.Fresh) t ~domain =
+  let now = Simnet.Clock.now (Simnet.World.clock t.world) in
+  match Simnet.World.connect t.world ~client:t.client ~hostname:domain ~offer with
+  | Error _ -> (Observation.failed_conn ~time:now ~domain, None)
+  | Ok outcome -> (observe t ~domain outcome ~now, Some outcome)
+
+(* The client-side state needed to attempt a resumption later. *)
+type resumable = {
+  session : Tls.Session.t option;
+  ticket : (int * string) option;
+}
+
+let resumable_of_outcome = function
+  | None -> { session = None; ticket = None }
+  | Some (o : Tls.Engine.outcome) ->
+      { session = o.Tls.Engine.session; ticket = o.Tls.Engine.new_ticket }
+
+let offer_session_id r =
+  match r.session with
+  | Some s when Tls.Session.id s <> "" -> Some (Tls.Client.Offer_session_id s)
+  | _ -> None
+
+let offer_ticket r =
+  match (r.ticket, r.session) with
+  | Some (_, ticket), Some session -> Some (Tls.Client.Offer_ticket { ticket; session })
+  | _ -> None

@@ -1,0 +1,34 @@
+(** A probing client: one TLS connection against the simulated Internet,
+    distilled into an {!Observation.conn}. Bulk settings (cached trust
+    evaluation, no per-connection SKE verification) are documented in the
+    implementation. *)
+
+type t = {
+  world : Simnet.World.t;
+  client : Tls.Client.t;
+  trust_cache : (string, bool) Hashtbl.t;
+  env : Tls.Config.env;
+}
+
+val create :
+  ?offer_suites:Tls.Types.cipher_suite list -> ?offer_ticket:bool -> seed:string -> Simnet.World.t -> t
+
+val dhe_only : Simnet.World.t -> seed:string -> t
+val ecdhe_only : Simnet.World.t -> seed:string -> t
+
+val evaluate_trust : t -> domain:string -> chain:Tls.Cert.t list -> now:int -> bool
+(** Chain validation, cached per domain. *)
+
+val observe : t -> domain:string -> Tls.Engine.outcome -> now:int -> Observation.conn
+
+val connect :
+  ?offer:Tls.Client.offer -> t -> domain:string -> Observation.conn * Tls.Engine.outcome option
+(** One connection at the world's current virtual time. *)
+
+(** {2 Resumption state} *)
+
+type resumable = { session : Tls.Session.t option; ticket : (int * string) option }
+
+val resumable_of_outcome : Tls.Engine.outcome option -> resumable
+val offer_session_id : resumable -> Tls.Client.offer option
+val offer_ticket : resumable -> Tls.Client.offer option

@@ -1,0 +1,1 @@
+lib/simnet/clock.mli: Format

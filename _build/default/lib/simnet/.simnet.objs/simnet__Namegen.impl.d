@@ -1,0 +1,1 @@
+lib/simnet/namegen.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/simnet/operators.ml: List Tls

@@ -1,0 +1,1 @@
+lib/simnet/profile.ml: Crypto Tls

@@ -1,0 +1,1 @@
+lib/simnet/world.ml: Array Char Clock Crypto Float Hashtbl List Namegen Notable Operators Option Printf Profile String Tls

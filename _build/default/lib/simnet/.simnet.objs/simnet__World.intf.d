@@ -1,0 +1,1 @@
+lib/simnet/world.mli: Clock Tls

@@ -1,0 +1,33 @@
+(* Deterministic synthetic domain names for the long tail and for
+   operator customer domains ("shop-kalora.example-cdn.net" style). Names
+   only need to be unique, plausible and stable across runs. *)
+
+let stems =
+  [|
+    "alpha"; "nova"; "kalora"; "vertex"; "lumen"; "orbit"; "pixel"; "quanta"; "raven";
+    "solis"; "tundra"; "umbra"; "vela"; "willow"; "xenon"; "yonder"; "zephyr"; "arbor";
+    "breeze"; "cinder"; "delta"; "ember"; "fjord"; "grove"; "harbor"; "isle"; "juniper";
+    "krait"; "lotus"; "meadow"; "nimbus"; "onyx"; "prairie"; "quill"; "ridge"; "summit";
+    "thicket"; "upland"; "vista"; "wharf";
+  |]
+
+let kinds =
+  [|
+    "shop"; "news"; "blog"; "mail"; "cloud"; "media"; "games"; "travel"; "bank"; "forum";
+    "photo"; "video"; "music"; "store"; "tech"; "labs"; "app"; "web"; "data"; "net";
+  |]
+
+let tlds = [| "com"; "net"; "org"; "io"; "co"; "info"; "biz"; "ru"; "de"; "jp"; "fr"; "br" |]
+
+(* [domain i] is unique for each non-negative [i]. *)
+let domain i =
+  let stem = stems.(i mod Array.length stems) in
+  let kind = kinds.(i / Array.length stems mod Array.length kinds) in
+  let tld = tlds.(i / (Array.length stems * Array.length kinds) mod Array.length tlds) in
+  Printf.sprintf "%s-%s%d.%s" stem kind i tld
+
+(* Customer domains of a named operator, e.g. "nova-shop83.cf-customer.example". *)
+let operator_domain ~operator i =
+  let stem = stems.(i mod Array.length stems) in
+  let kind = kinds.((i / Array.length stems) mod Array.length kinds) in
+  Printf.sprintf "%s-%s%d.%s-hosted.example" stem kind i operator

@@ -1,0 +1,101 @@
+(* Case-study domains seeded to the behaviour the paper observed, so the
+   "top domains with prolonged reuse" tables (Tables 2-4) reproduce
+   nominally, not just statistically. Spans are in days over the 63-day
+   study; a STEK/kex span of 63 means the same secret was seen on both the
+   first and last day (and was likely in use before and after).
+
+   The giant shared-infrastructure operators (CloudFlare, Google,
+   Fastly, ...) live in {!Operators}; the entries here are individually
+   operated domains. *)
+
+type t = {
+  name : string;
+  rank : int; (* average Alexa rank over the study *)
+  stek : [ `Span of int | `Daily | `No_tickets ];
+  dhe_span : int option; (* Reuse_forever until a restart at this day *)
+  ecdhe_span : int option;
+  supports_dhe : bool;
+  hint_override : int option; (* advertised ticket lifetime hint, seconds *)
+  shared_stek : string option; (* domains with the same label share a STEK *)
+}
+
+let entry ?(stek = `Daily) ?dhe ?ecdhe ?(supports_dhe = true) ?hint ?stek_group name rank =
+  {
+    name;
+    rank;
+    stek;
+    dhe_span = dhe;
+    ecdhe_span = ecdhe;
+    supports_dhe;
+    hint_override = hint;
+    shared_stek = stek_group;
+  }
+
+(* A domain's process-restart day: the maximum of its kex spans (one
+   restart schedule per server process; the paper's per-domain DHE and
+   ECDHE spans agree wherever both appear). *)
+let kex_restart_day t =
+  match (t.dhe_span, t.ecdhe_span) with
+  | None, None -> None
+  | Some a, None -> Some a
+  | None, Some b -> Some b
+  | Some a, Some b -> Some (max a b)
+
+let all =
+  [
+    (* Table 2: prolonged STEK reuse among top domains. *)
+    entry "yahoo.com" 5 ~stek:(`Span 63);
+    entry "qq.com" 19 ~stek:(`Span 56);
+    entry "taobao.com" 20 ~stek:(`Span 63);
+    entry "pinterest.com" 21 ~stek:(`Span 63);
+    entry "yandex.ru" 28 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "netflix.com" 31 ~stek:(`Span 54) ~dhe:59 ~ecdhe:59;
+    entry "imgur.com" 35 ~stek:(`Span 63);
+    entry "tmall.com" 41 ~stek:(`Span 63);
+    entry "fc2.com" 53 ~stek:(`Span 18) ~dhe:18;
+    entry "pornhub.com" 55 ~stek:(`Span 29);
+    entry "mail.ru" 40 ~stek:(`Span 63);
+    entry "slack.com" 152 ~stek:(`Span 18);
+    (* The other seven yandex.[tld] properties, sharing yandex.ru's STEK
+       schedule (all showed 63 days of reuse). *)
+    entry "yandex.com.tr" 480 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.ua" 510 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.by" 710 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.kz" 820 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.com" 890 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.net" 1350 ~stek:(`Span 63) ~stek_group:"yandex";
+    entry "yandex.st" 1600 ~stek:(`Span 63) ~stek_group:"yandex";
+    (* Table 3: prolonged DHE reuse. *)
+    entry "ebay.in" 392 ~dhe:7;
+    entry "ebay.it" 456 ~dhe:8;
+    entry "bleacherreport.com" 528 ~dhe:24 ~ecdhe:24;
+    entry "kayak.com" 580 ~dhe:13;
+    entry "cbssports.com" 592 ~dhe:60;
+    entry "gamefaqs.com" 626 ~dhe:12;
+    entry "overstock.com" 633 ~dhe:17;
+    entry "cookpad.com" 730 ~dhe:63;
+    entry "commsec.com.au" 2100 ~dhe:36;
+    (* A sample of the 32 kayak.[tld] domains (6-18 days of DHE reuse). *)
+    entry "kayak.co.uk" 4100 ~dhe:18;
+    entry "kayak.de" 4900 ~dhe:14;
+    entry "kayak.fr" 6200 ~dhe:11;
+    entry "kayak.it" 8400 ~dhe:9;
+    entry "kayak.es" 9000 ~dhe:6;
+    (* Table 4: prolonged ECDHE reuse. *)
+    entry "whatsapp.com" 74 ~ecdhe:62 ~supports_dhe:false;
+    entry "vice.com" 158 ~ecdhe:26;
+    entry "9gag.com" 221 ~ecdhe:31 ~supports_dhe:false;
+    entry "liputan6.com" 322 ~ecdhe:28;
+    entry "paytm.com" 353 ~ecdhe:27;
+    entry "playstation.com" 464 ~ecdhe:11;
+    entry "woot.com" 527 ~ecdhe:62 ~supports_dhe:false;
+    entry "leagueoflegends.com" 615 ~ecdhe:27;
+    entry "betterment.com" 21_000 ~ecdhe:62;
+    entry "mint.com" 940 ~ecdhe:62;
+    entry "symantec.com" 1230 ~ecdhe:41;
+    entry "symanteccloud.com" 14_000 ~ecdhe:16;
+    entry "norton.com" 3800 ~ecdhe:19;
+    (* Section 4.2: the two domains advertising a 90-day lifetime hint. *)
+    entry "fantabobworld.com" 310_000 ~hint:(90 * 86_400);
+    entry "fantabobshow.com" 410_000 ~hint:(90 * 86_400);
+  ]

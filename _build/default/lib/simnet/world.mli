@@ -1,0 +1,98 @@
+(** The simulated HTTPS Internet: a sampled, ranked Top Million whose
+    domains are served by endpoints (SSL terminators / small farms)
+    holding the mutable TLS secret state the paper measures — session
+    caches, STEK managers, ephemeral key-exchange caches — possibly
+    shared across many domains. See the implementation header and
+    DESIGN.md for the population model and sampling weights. *)
+
+type config = {
+  seed : string;
+  n_domains : int;  (** sampled population size (min 1500) *)
+  start_time : int;  (** epoch seconds at which the study begins *)
+  use_real_crypto : bool;  (** Oakley-2 + P-256 instead of small groups *)
+  stable_fraction : float;  (** domains present in the list every day *)
+  mx_google_fraction : float;  (** domains whose MX points at Google *)
+}
+
+val default_config : config
+(** 10,000 domains, seed ["tlsharm"], starting March 2 2016 (the paper's
+    first scan day), small crypto parameters. *)
+
+val case_study_lead_days : int
+(** Days between world start and the longitudinal campaign in the
+    standard study timeline; seeded case-study schedules account for
+    it. *)
+
+type t
+type domain
+type endpoint
+
+val create : ?config:config -> unit -> t
+
+(** {2 Accessors} *)
+
+val clock : t -> Clock.t
+val env : t -> Tls.Config.env
+val root_store : t -> Tls.Cert.root_store
+val domains : t -> domain array
+(** Sorted by rank. *)
+
+val find_domain : t -> string -> domain option
+
+val operator_stek : t -> string -> Tls.Stek_manager.t option
+(** The shared STEK manager of a named operator (e.g. ["google"]), as an
+    attacker who compromises that operator would hold it. *)
+
+val domain_name : domain -> string
+val domain_rank : domain -> int
+
+val domain_weight : domain -> float
+(** How many real Top Million domains this sample represents
+    (Horvitz-Thompson weight; 1.0 for ranks 1..1000 and certainty
+    samples). *)
+
+val domain_operator : domain -> string
+val domain_trusted : domain -> bool
+val domain_has_https : domain -> bool
+val domain_stable : domain -> bool
+val domain_mx_google : domain -> bool
+val mx_points_to_google : domain -> bool
+val domain_ip : domain -> int
+val domain_asn : domain -> int
+
+val in_list_on_day : domain -> day:int -> bool
+(** Deterministic Alexa-churn membership. *)
+
+val domains_in_asn : t -> int -> string list
+val domains_on_ip : t -> int -> string list
+val stable_trusted_https : t -> domain list
+(** The paper's analysis population: always-listed, browser-trusted,
+    HTTPS. *)
+
+(** {2 Connecting} *)
+
+type connect_error = No_such_domain | No_https | Connection_failed
+
+val connect :
+  t ->
+  client:Tls.Client.t ->
+  hostname:string ->
+  offer:Tls.Client.offer ->
+  (Tls.Engine.outcome, connect_error) result
+(** One connection at the current virtual time: resolves the domain (or
+    a modeled service host, e.g. a mail front-end), applies due process
+    restarts, picks a farm process (no client affinity), and runs the
+    handshake. *)
+
+val mx_host : t -> domain -> string option
+(** The TLS mail front-end a domain's MX points at, when its provider is
+    modeled (Google); connecting to it exercises the same STEK as the
+    provider's web properties — the section 7.2 cross-protocol
+    sharing. *)
+
+val connect_service_host :
+  t ->
+  client:Tls.Client.t ->
+  hostname:string ->
+  offer:Tls.Client.offer ->
+  (Tls.Engine.outcome, connect_error) result

@@ -1,0 +1,1 @@
+lib/tls/cert.ml: Crypto Format Hashtbl List Result String Wire

@@ -1,0 +1,1 @@
+lib/tls/cert.mli: Crypto Format Wire

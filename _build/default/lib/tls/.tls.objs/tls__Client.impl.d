@@ -1,0 +1,1 @@
+lib/tls/client.ml: Buffer Cert Config Crypto Extension Handshake_msg List Option Result Server Session String Types

@@ -1,0 +1,1 @@
+lib/tls/client.mli: Cert Config Crypto Handshake_msg Session

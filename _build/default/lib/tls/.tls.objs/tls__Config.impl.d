@@ -1,0 +1,1 @@
+lib/tls/config.ml: Cert Crypto Kex_cache Session_cache Stek_manager Types

@@ -1,0 +1,1 @@
+lib/tls/connection.ml: Buffer Client Engine Format Handshake_msg Lazy List Record Result Server Session String Types

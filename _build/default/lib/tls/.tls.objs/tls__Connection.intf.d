@@ -1,0 +1,1 @@
+lib/tls/connection.mli: Client Engine Record Server Session

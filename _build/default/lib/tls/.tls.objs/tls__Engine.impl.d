@@ -1,0 +1,1 @@
+lib/tls/engine.ml: Cert Client Handshake_msg List Option Result Server Session String Ticket Types

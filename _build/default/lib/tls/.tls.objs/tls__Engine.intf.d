@@ -1,0 +1,1 @@
+lib/tls/engine.mli: Cert Client Server Session Types

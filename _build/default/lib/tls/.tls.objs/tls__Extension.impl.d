@@ -1,0 +1,1 @@
+lib/tls/extension.ml: List Wire

@@ -1,0 +1,1 @@
+lib/tls/extension.mli: Wire

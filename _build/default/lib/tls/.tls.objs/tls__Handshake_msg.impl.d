@@ -1,0 +1,1 @@
+lib/tls/handshake_msg.ml: Extension List Printf String Types Wire

@@ -1,0 +1,1 @@
+lib/tls/kex_cache.mli: Crypto

@@ -1,0 +1,1 @@
+lib/tls/record.ml: Char Crypto List String Types Wire

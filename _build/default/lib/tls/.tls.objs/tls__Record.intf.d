@@ -1,0 +1,1 @@
+lib/tls/record.mli: Types

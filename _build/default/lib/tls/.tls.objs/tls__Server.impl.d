@@ -1,0 +1,1 @@
+lib/tls/server.ml: Buffer Cert Config Crypto Extension Handshake_msg Kex_cache List Option Session Session_cache Stek_manager String Ticket Types Wire

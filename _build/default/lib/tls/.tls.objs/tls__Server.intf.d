@@ -1,0 +1,1 @@
+lib/tls/server.mli: Config Crypto Handshake_msg Session Types

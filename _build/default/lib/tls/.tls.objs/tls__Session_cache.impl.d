@@ -1,0 +1,1 @@
+lib/tls/session_cache.ml: Hashtbl Queue Session String

@@ -1,0 +1,1 @@
+lib/tls/session_cache.mli: Session

@@ -1,0 +1,1 @@
+lib/tls/stek.ml: Crypto Printf String Wire

@@ -1,0 +1,1 @@
+lib/tls/stek.mli: Crypto

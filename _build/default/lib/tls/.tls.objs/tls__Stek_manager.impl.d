@@ -1,0 +1,1 @@
+lib/tls/stek_manager.ml: List Printf Stek String

@@ -1,0 +1,1 @@
+lib/tls/stek_manager.mli: Stek

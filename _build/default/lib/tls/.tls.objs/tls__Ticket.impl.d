@@ -1,0 +1,1 @@
+lib/tls/ticket.ml: Crypto Format Session Stek String Wire

@@ -1,0 +1,1 @@
+lib/tls/ticket.mli: Crypto Format Session Stek

@@ -1,0 +1,1 @@
+lib/tls/tls13.ml: Crypto Format List Option Result Stek Stek_manager String Wire

@@ -1,0 +1,1 @@
+lib/tls/tls13.mli: Crypto Format Stek Stek_manager

@@ -1,0 +1,1 @@
+lib/tls/types.mli: Format

@@ -1,0 +1,224 @@
+(* A byte-level connection driver: the same handshakes {!Engine} runs,
+   carried over the record layer the way TLS frames them — handshake
+   messages in Handshake records, a ChangeCipherSpec before each side's
+   Finished, and the Finished records themselves encrypted under the
+   freshly derived connection keys. A wiretap on this layer sees what a
+   network observer sees: plaintext hellos, certificates, key-exchange
+   values and NewSessionTickets (RFC 5077 sends the ticket before the
+   server's CCS), and ciphertext Finished and application records.
+
+   The bulk scanner uses {!Engine} directly (same messages, no framing
+   overhead); this module exists for wire-level fidelity in examples,
+   attack demonstrations and robustness tests, and for moving protected
+   application data after the handshake. *)
+
+module Msg = Handshake_msg
+
+type established = {
+  session : Session.t;
+  new_ticket : (int * string) option;
+  resumed : [ `No | `Via_session_id | `Via_ticket ];
+  client_tx : Record.cipher_state; (* client -> server, held by the client *)
+  client_rx : Record.cipher_state;
+  server_tx : Record.cipher_state;
+  server_rx : Record.cipher_state;
+  wire_log : (Engine.direction * Record.t) list; (* oldest first *)
+}
+
+let handshake_record msgs =
+  Record.make ~content_type:Types.Handshake_ct (String.concat "" (List.map Msg.to_bytes msgs))
+
+let ccs_record () = Record.make ~content_type:Types.Change_cipher_spec "\x01"
+
+(* Split a flight at a trailing Finished: everything before it travels in
+   plaintext handshake records, the Finished in an encrypted one after a
+   CCS. *)
+let split_finished msgs =
+  let rec go acc = function
+    | [ Msg.Finished _ ] as fin -> (List.rev acc, fin)
+    | m :: rest -> go (m :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  go [] msgs
+
+let encode_flight ?tx msgs =
+  let plain, fin = split_finished msgs in
+  let records = if plain = [] then [] else [ handshake_record plain ] in
+  match (fin, tx) with
+  | [], _ -> records
+  | fin, Some tx -> records @ [ ccs_record (); Record.seal tx (handshake_record fin) ]
+  | _ :: _, None -> invalid_arg "Connection.encode_flight: Finished without keys"
+
+(* Decode a received flight: plaintext handshake records plus, after a
+   CCS, encrypted ones. [rx] may be lazy because the keys only exist once
+   the plaintext part has been processed (full handshake, server side). *)
+let decode_flight ?rx records =
+  let buf = Buffer.create 256 in
+  let rec go seen_ccs = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        match Record.content_type r with
+        | Types.Change_cipher_spec -> go true rest
+        | Types.Handshake_ct ->
+            if seen_ccs then begin
+              match rx with
+              | None -> Error "encrypted record without keys"
+              | Some rx -> (
+                  match Record.open_ (Lazy.force rx) r with
+                  | Error a -> Error (Format.asprintf "record: %a" Types.pp_alert a)
+                  | Ok plain ->
+                      Buffer.add_string buf (Record.payload plain);
+                      go seen_ccs rest)
+            end
+            else begin
+              Buffer.add_string buf (Record.payload r);
+              go seen_ccs rest
+            end
+        | Types.Alert_ct -> Error "peer sent an alert"
+        | Types.Application_data -> Error "application data during handshake")
+  in
+  match go false records with Error e -> Error e | Ok () -> Msg.read_all (Buffer.contents buf)
+
+let ( let* ) = Result.bind
+
+let randoms_of msgs =
+  let cr = ref "" and sr = ref "" in
+  List.iter
+    (fun m ->
+      match m with
+      | Msg.Client_hello ch -> cr := ch.Msg.ch_random
+      | Msg.Server_hello sh -> sr := sh.Msg.sh_random
+      | _ -> ())
+    msgs;
+  (!cr, !sr)
+
+(* Run a complete wire-level exchange between a client and a server. *)
+let establish client server ~now ~hostname ~offer =
+  let log = ref [] in
+  let transmit direction records =
+    List.iter (fun r -> log := (direction, r) :: !log) records;
+    records
+  in
+  let alert a = Format.asprintf "server alert: %a" Types.pp_alert a in
+  (* Flight 1: ClientHello. *)
+  let ch_msg, state = Client.hello client ~now ~hostname ~offer in
+  let flight1 = transmit Engine.Client_to_server (encode_flight [ ch_msg ]) in
+  let* msgs1 = decode_flight flight1 in
+  let* ch_msg =
+    match msgs1 with [ (Msg.Client_hello _ as m) ] -> Ok m | _ -> Error "bad first flight"
+  in
+  let client_random = match ch_msg with Msg.Client_hello ch -> ch.Msg.ch_random | _ -> "" in
+  let* server_result =
+    Result.map_error alert (Server.handle_client_hello server ~now ch_msg)
+  in
+  let finish ~master ~server_random k =
+    let keys = Record.derive_keys ~master ~client_random ~server_random in
+    k keys
+  in
+  match server_result with
+  | Server.Resuming (flight, resuming, how) ->
+      (* Abbreviated: the server's Finished is encrypted. *)
+      let session = Server.resuming_session resuming in
+      let _, server_random = randoms_of flight in
+      finish ~master:(Session.master_secret session) ~server_random @@ fun keys ->
+      let server_tx = Record.cipher_state keys.Record.server_write in
+      let client_rx = Record.cipher_state keys.Record.server_write in
+      let flight2 = transmit Engine.Server_to_client (encode_flight ~tx:server_tx flight) in
+      let* msgs2 = decode_flight ~rx:(lazy client_rx) flight2 in
+      let* result = Client.handle_server_flight state msgs2 in
+      (match result with
+      | Client.Abbreviated { client_finished; session; new_ticket; session_id = _ } ->
+          let client_tx = Record.cipher_state keys.Record.client_write in
+          let server_rx = Record.cipher_state keys.Record.client_write in
+          let flight3 =
+            transmit Engine.Client_to_server (encode_flight ~tx:client_tx [ client_finished ])
+          in
+          let* msgs3 = decode_flight ~rx:(lazy server_rx) flight3 in
+          let* fin = match msgs3 with [ m ] -> Ok m | _ -> Error "bad finished flight" in
+          let* _ = Result.map_error alert (Server.handle_client_finished resuming fin) in
+          Ok
+            {
+              session;
+              new_ticket;
+              resumed = (how :> [ `No | `Via_session_id | `Via_ticket ]);
+              client_tx;
+              client_rx;
+              server_tx;
+              server_rx;
+              wire_log = List.rev !log;
+            }
+      | Client.Continue_full _ -> Error "client saw a full flight during resumption")
+  | Server.Negotiating (flight, pending) ->
+      (* Full handshake: server's first flight is all plaintext. *)
+      let _, server_random = randoms_of flight in
+      let flight2 = transmit Engine.Server_to_client (encode_flight flight) in
+      let* msgs2 = decode_flight flight2 in
+      let* result = Client.handle_server_flight state msgs2 in
+      (match result with
+      | Client.Abbreviated _ -> Error "client resumed during a full handshake"
+      | Client.Continue_full { to_send; continuation; _ } ->
+          let master = Client.continuation_master continuation in
+          finish ~master ~server_random @@ fun keys ->
+          let client_tx = Record.cipher_state keys.Record.client_write in
+          let flight3 = transmit Engine.Client_to_server (encode_flight ~tx:client_tx to_send) in
+          (* The server must learn the master from the plaintext CKE
+             before it can open the encrypted Finished record. *)
+          let server_keys = ref None in
+          let rx =
+            lazy
+              (match !server_keys with
+              | Some ks -> ks
+              | None -> failwith "connection: keys not derived yet")
+          in
+          let* msgs3 =
+            (* Peek the CKE from the plaintext part to derive keys. *)
+            let* plain_msgs =
+              match flight3 with
+              | plain :: _ when Record.content_type plain = Types.Handshake_ct ->
+                  Msg.read_all (Record.payload plain)
+              | _ -> Error "missing plaintext CKE record"
+            in
+            let* cke_public =
+              match plain_msgs with
+              | [ Msg.Client_key_exchange p ] -> Ok p
+              | _ -> Error "expected exactly a ClientKeyExchange"
+            in
+            let* server_master =
+              Result.map_error alert (Server.master_of_cke pending ~cke_public)
+            in
+            let ks =
+              Record.derive_keys ~master:server_master ~client_random ~server_random
+            in
+            server_keys := Some (Record.cipher_state ks.Record.client_write);
+            decode_flight ~rx flight3
+          in
+          let* closing, _server_session =
+            Result.map_error alert (Server.handle_client_flight pending ~now msgs3)
+          in
+          let server_tx = Record.cipher_state keys.Record.server_write in
+          let client_rx = Record.cipher_state keys.Record.server_write in
+          let flight4 = transmit Engine.Server_to_client (encode_flight ~tx:server_tx closing) in
+          let* msgs4 = decode_flight ~rx:(lazy client_rx) flight4 in
+          let* session, new_ticket = Client.finish_full continuation ~now msgs4 in
+          Ok
+            {
+              session;
+              new_ticket;
+              resumed = `No;
+              client_tx;
+              client_rx;
+              server_tx;
+              server_rx = Lazy.force rx;
+              wire_log = List.rev !log;
+            })
+
+(* --- Post-handshake application data ------------------------------------------ *)
+
+let send t ~from data =
+  let tx = match from with `Client -> t.client_tx | `Server -> t.server_tx in
+  Record.seal_application_data tx data
+
+let recv t ~at records =
+  let rx = match at with `Client -> t.client_rx | `Server -> t.server_rx in
+  Record.open_application_data rx records
+  |> Result.map_error (fun a -> Format.asprintf "%a" Types.pp_alert a)

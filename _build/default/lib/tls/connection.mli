@@ -1,0 +1,32 @@
+(** A byte-level connection driver: the {!Engine} handshakes carried over
+    the record layer as TLS frames them — handshake records, a
+    ChangeCipherSpec before each side's Finished, the Finished records
+    encrypted under the derived keys — plus protected application data
+    afterwards. For wire-level fidelity in examples, attacks and tests;
+    the bulk scanner uses {!Engine} directly. *)
+
+type established = {
+  session : Session.t;
+  new_ticket : (int * string) option;
+  resumed : [ `No | `Via_session_id | `Via_ticket ];
+  client_tx : Record.cipher_state;
+  client_rx : Record.cipher_state;
+  server_tx : Record.cipher_state;
+  server_rx : Record.cipher_state;
+  wire_log : (Engine.direction * Record.t) list;
+      (** every record that crossed, oldest first — the passive
+          observer's capture *)
+}
+
+val establish :
+  Client.t ->
+  Server.t ->
+  now:int ->
+  hostname:string ->
+  offer:Client.offer ->
+  (established, string) result
+
+val send : established -> from:[ `Client | `Server ] -> string -> Record.t list
+(** Protect application bytes into wire records. *)
+
+val recv : established -> at:[ `Client | `Server ] -> Record.t list -> (string, string) result

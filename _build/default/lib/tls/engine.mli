@@ -1,0 +1,32 @@
+(** End-to-end handshake driver: runs a client against a server instance,
+    exchanging serialized flights (every message crosses a bytes
+    boundary), and distills the exchange into the observation record the
+    scanner consumes. *)
+
+type outcome = {
+  ok : bool;
+  alert : Types.alert option;  (** server-side failure *)
+  error : string option;  (** client-side failure *)
+  cipher : Types.cipher_suite option;
+  resumed : [ `No | `Via_session_id | `Via_ticket ];
+  session : Session.t option;  (** the client's resulting session state *)
+  session_id : string;  (** from ServerHello; [""] if none *)
+  new_ticket : (int * string) option;  (** lifetime hint, ticket bytes *)
+  stek_key_name : string option;  (** peeked from the ticket *)
+  server_kex_public : string option;  (** (EC)DHE server value, wire bytes *)
+  cert_chain : Cert.t list;
+  trusted : bool;
+}
+
+type direction = Client_to_server | Server_to_client
+
+val connect :
+  ?wiretap:(direction -> string -> unit) ->
+  Client.t ->
+  Server.t ->
+  now:int ->
+  hostname:string ->
+  offer:Client.offer ->
+  outcome
+(** One TLS connection attempt, fresh or resuming. [wiretap] sees every
+    flight's bytes — the paper's passive adversary. *)

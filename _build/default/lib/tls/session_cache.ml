@@ -1,0 +1,70 @@
+(* The server-side session cache backing session-ID resumption.
+
+   One cache instance may be shared by many servers and many domains
+   (an SSL terminator); that sharing is what Section 5.1 of the paper
+   measures. Entries expire after [lifetime] seconds — RFC 5246 suggests
+   at most 24 hours, Apache defaults to 5 minutes, Nginx to 5 minutes
+   when enabled, IIS to 10 hours — and the cache enforces a capacity
+   bound with FIFO eviction like the fixed-size caches in production
+   servers. *)
+
+type entry = { session : Session.t; expires_at : int }
+
+type t = {
+  lifetime : int; (* seconds an entry is honored *)
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t; (* FIFO eviction order *)
+}
+
+let create ~lifetime ~capacity =
+  if lifetime < 0 then invalid_arg "Session_cache.create: negative lifetime";
+  if capacity <= 0 then invalid_arg "Session_cache.create: capacity must be positive";
+  { lifetime; capacity; table = Hashtbl.create 64; order = Queue.create () }
+
+let lifetime t = t.lifetime
+let size t = Hashtbl.length t.table
+
+let evict_if_full t =
+  while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+    let victim = Queue.pop t.order in
+    Hashtbl.remove t.table victim
+  done
+
+let store t ~now session =
+  let id = Session.id session in
+  if String.length id = 0 then invalid_arg "Session_cache.store: empty session ID";
+  if t.lifetime = 0 then () (* caching disabled: state is dropped immediately *)
+  else begin
+    if not (Hashtbl.mem t.table id) then begin
+      evict_if_full t;
+      Queue.push id t.order
+    end;
+    Hashtbl.replace t.table id { session; expires_at = now + t.lifetime }
+  end
+
+let lookup t ~now id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some entry ->
+      if now <= entry.expires_at then Some entry.session
+      else begin
+        (* Lazy expiry: the implementations the paper inspects also drop
+           entries on access rather than with a timer. *)
+        Hashtbl.remove t.table id;
+        None
+      end
+
+let remove t id = Hashtbl.remove t.table id
+
+let flush t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+(* The earliest moment at which no currently cached secret remains alive:
+   used by the analysis to reason about vulnerability windows. *)
+let latest_expiry t = Hashtbl.fold (fun _ e acc -> max acc e.expires_at) t.table 0
+
+(* Compromise accessor: everything an attacker who reads the cache memory
+   obtains. Used by the Attack demonstrations. *)
+let dump t = Hashtbl.fold (fun _ e acc -> e.session :: acc) t.table []

@@ -1,0 +1,125 @@
+(* STEK lifecycle management. The rotation policy is the paper's key
+   variable (Section 4.3): it determines how long a single stolen 64-byte
+   secret can decrypt recorded traffic.
+
+   Policies mirror the deployments the paper observed:
+   - [Static]          — a pregenerated key file, never rotated (Fastly,
+                         Yandex, the Jack Henry banking cluster, ...).
+   - [Per_process]     — random STEK at process start, lives until the
+                         process restarts (Apache/Nginx without a key
+                         file); the effective lifetime is the restart
+                         cadence.
+   - [Rotate_every]    — custom rotation infrastructure (Twitter,
+                         CloudFlare daily, Google every 14h), with an
+                         [accept_window] of old keys still honored for
+                         ticket decryption after they stop issuing.
+
+   Rotation is epoch-aligned and derives each period's key
+   deterministically from a secret, which models fleet-wide synchronized
+   rotation: every server sharing the secret agrees on the current STEK
+   without coordination. A manager is shared wherever a STEK is shared —
+   across the server farm of one domain or across every domain behind an
+   SSL terminator (Section 5.2). *)
+
+type policy =
+  | Static
+  | Per_process
+  | Rotate_every of { period : int; accept_window : int }
+  | Scheduled of int list
+      (* Administrator-driven rotation at the given epoch seconds
+         (ascending); used to seed case-study domains with the exact
+         rotation days the paper observed, e.g. the Jack Henry banking
+         cluster rotating once after 59 days. *)
+
+type t = {
+  policy : policy;
+  secret : string; (* root secret for derivation *)
+  mutable process_stek : Stek.t option; (* for Static / Per_process *)
+  mutable process_started_at : int;
+}
+
+let create ~policy ~secret ~now =
+  { policy; secret; process_stek = None; process_started_at = now }
+
+let policy t = t.policy
+
+(* Simulate a server process restart: a [Per_process] manager forgets its
+   STEK and generates a fresh one on next use; [Static] reloads the same
+   key file, so nothing changes. *)
+let restart t ~now =
+  t.process_started_at <- now;
+  match t.policy with
+  | Per_process -> t.process_stek <- None
+  | Static | Rotate_every _ | Scheduled _ -> ()
+
+let process_key t ~now ~label =
+  match t.process_stek with
+  | Some stek -> stek
+  | None ->
+      let stek = Stek.derive ~secret:(t.secret ^ label) ~period:t.process_started_at ~now in
+      t.process_stek <- Some stek;
+      stek
+
+(* Index of the schedule interval containing [now]: 0 before the first
+   boundary, k after the k-th. *)
+let schedule_interval boundaries ~now =
+  let rec go i = function
+    | [] -> i
+    | b :: rest -> if now < b then i else go (i + 1) rest
+  in
+  go 0 boundaries
+
+let current_period t ~now =
+  match t.policy with
+  | Rotate_every { period; _ } -> now / period
+  | Scheduled boundaries -> schedule_interval boundaries ~now
+  | Static | Per_process -> 0
+
+(* The STEK currently used to *issue* tickets. *)
+let issuing t ~now =
+  match t.policy with
+  | Static -> process_key t ~now ~label:":static"
+  | Per_process -> process_key t ~now ~label:Printf.(sprintf ":proc:%d" t.process_started_at)
+  | Rotate_every { period; _ } ->
+      Stek.derive ~secret:t.secret ~period:(now / period) ~now:(now / period * period)
+  | Scheduled boundaries ->
+      Stek.derive ~secret:t.secret ~period:(schedule_interval boundaries ~now) ~now
+
+(* Resolve a key name for ticket decryption. Under rotation, keys from the
+   accept window remain valid after they stop issuing. *)
+let find_for_decrypt t ~now key_name =
+  match t.policy with
+  | Static | Per_process ->
+      let stek = issuing t ~now in
+      if String.equal (Stek.key_name stek) key_name then Some stek else None
+  | Scheduled boundaries ->
+      (* Current and immediately previous administrative key both work. *)
+      let current = schedule_interval boundaries ~now in
+      let candidates =
+        if current = 0 then [ current ] else [ current; current - 1 ]
+      in
+      List.find_map
+        (fun period ->
+          let candidate = Stek.derive ~secret:t.secret ~period ~now in
+          if String.equal (Stek.key_name candidate) key_name then Some candidate else None)
+        candidates
+  | Rotate_every { period; accept_window } ->
+      let current = now / period in
+      let periods_back = (accept_window + period - 1) / period in
+      let rec scan k =
+        if k > periods_back then None
+        else
+          let candidate = Stek.derive ~secret:t.secret ~period:(current - k) ~now in
+          if String.equal (Stek.key_name candidate) key_name then Some candidate else scan (k + 1)
+      in
+      scan 0
+
+(* How long a single STEK issued at [now] will exist somewhere in the
+   deployment (issue period + acceptance tail); the per-mechanism
+   vulnerability-window bound used by the Section 6 analysis. *)
+let key_exposure_seconds t =
+  match t.policy with
+  | Static -> None (* unbounded: never rotated *)
+  | Per_process -> None (* bounded only by the restart schedule, unknown here *)
+  | Scheduled _ -> None (* bounded only by the administrator's calendar *)
+  | Rotate_every { period; accept_window } -> Some (period + accept_window)

@@ -1,0 +1,1 @@
+lib/wire/hex.ml: Bytes Char Format Seq String

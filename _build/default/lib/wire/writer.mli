@@ -1,0 +1,35 @@
+(** A growable byte-string builder with big-endian primitives matching the
+    TLS presentation language (RFC 5246, section 4). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val to_string : t -> string
+
+val u8 : t -> int -> unit
+val u16 : t -> int -> unit
+val u24 : t -> int -> unit
+val u32 : t -> int -> unit
+
+val u64 : t -> int -> unit
+(** Writes the low 63 bits of a non-negative OCaml int as 8 bytes. *)
+
+val bytes : t -> string -> unit
+
+val vec8 : t -> string -> unit
+(** Opaque vector with a one-byte length prefix. *)
+
+val vec16 : t -> string -> unit
+(** Opaque vector with a two-byte length prefix. *)
+
+val vec24 : t -> string -> unit
+(** Opaque vector with a three-byte length prefix. *)
+
+val build : (t -> unit) -> string
+(** [build f] runs [f] on a fresh writer and returns the accumulated bytes. *)
+
+val u16_string : int -> string
+val u24_string : int -> string
+val u32_string : int -> string
+val u64_string : int -> string

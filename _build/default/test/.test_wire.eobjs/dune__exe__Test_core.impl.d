@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Crypto Lazy List Simnet String Tls Tlsharm

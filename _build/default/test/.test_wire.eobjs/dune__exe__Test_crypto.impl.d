@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto Hashtbl List Option Printf QCheck2 QCheck_alcotest String Wire

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Crypto List Printexc QCheck2 QCheck_alcotest Scanner String Tls

@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest Analysis Array Filename Fun Lazy List Printf QCheck2 QCheck_alcotest Scanner Simnet String Sys Tls

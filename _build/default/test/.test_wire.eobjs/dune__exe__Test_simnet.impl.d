@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Crypto Hashtbl Lazy List Option Printf Simnet String Tls

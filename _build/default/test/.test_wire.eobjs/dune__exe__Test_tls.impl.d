@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Bytes Char Crypto Format List Option Printf QCheck2 QCheck_alcotest Result String Tls Wire

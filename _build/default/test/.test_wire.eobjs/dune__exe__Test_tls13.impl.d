@@ -1,0 +1,1 @@
+test/test_tls13.ml: Alcotest Crypto List Option Printf QCheck2 QCheck_alcotest String Tls Wire

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest List QCheck2 QCheck_alcotest String Wire

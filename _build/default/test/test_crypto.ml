@@ -1,0 +1,635 @@
+(* Tests for the crypto substrate: known-answer vectors for SHA-256, HMAC,
+   AES and X25519; structural self-checks for the DH/EC domain parameters;
+   and qcheck properties for the bignum and mode-of-operation layers. *)
+
+let hex = Wire.Hex.decode
+
+let check_hex msg expected actual =
+  Alcotest.(check string) msg expected (Wire.Hex.encode actual)
+
+(* --- Hex ------------------------------------------------------------------ *)
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff binary" in
+  Alcotest.(check string) "roundtrip" s (Wire.Hex.decode (Wire.Hex.encode s));
+  Alcotest.(check string) "whitespace tolerated" "\xde\xad\xbe\xef"
+    (Wire.Hex.decode "de ad\nbe\tef");
+  Alcotest.(check (option string)) "odd length rejected" None (Wire.Hex.decode_opt "abc")
+
+(* --- SHA-256 -------------------------------------------------------------- *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Crypto.Sha256.digest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Crypto.Sha256.digest "abc");
+  check_hex "two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Crypto.Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_streaming () =
+  (* Incremental updates across block boundaries agree with one-shot. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let t = Crypto.Sha256.init () in
+  let pos = ref 0 in
+  let chunks = [ 1; 3; 63; 64; 65; 200; 604 ] in
+  List.iter
+    (fun n ->
+      Crypto.Sha256.update t (String.sub msg !pos n);
+      pos := !pos + n)
+    chunks;
+  Alcotest.(check int) "consumed all" 1000 !pos;
+  Alcotest.(check string) "streaming = one-shot" (Crypto.Sha256.digest msg)
+    (Crypto.Sha256.finalize t)
+
+(* --- HMAC (RFC 4231) ------------------------------------------------------ *)
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 1. *)
+  check_hex "tc1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Crypto.Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There");
+  (* RFC 4231 test case 2. *)
+  check_hex "tc2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Crypto.Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?");
+  (* RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data. *)
+  check_hex "tc3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Crypto.Hmac.sha256 ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_ct_equal () =
+  Alcotest.(check bool) "equal" true (Crypto.Hmac.equal_ct "same-bytes" "same-bytes");
+  Alcotest.(check bool) "different" false (Crypto.Hmac.equal_ct "same-bytes" "same-bytez");
+  Alcotest.(check bool) "length mismatch" false (Crypto.Hmac.equal_ct "abc" "abcd")
+
+(* --- AES (FIPS 197) ------------------------------------------------------- *)
+
+let test_aes_vectors () =
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let k128 = Crypto.Aes.of_key (hex "000102030405060708090a0b0c0d0e0f") in
+  check_hex "aes-128 encrypt" "69c4e0d86a7b0430d8cdb78070b4c55a" (Crypto.Aes.encrypt_block k128 pt);
+  let k192 = Crypto.Aes.of_key (hex "000102030405060708090a0b0c0d0e0f1011121314151617") in
+  check_hex "aes-192 encrypt" "dda97ca4864cdfe06eaf70a0ec0d7191" (Crypto.Aes.encrypt_block k192 pt);
+  let k256 =
+    Crypto.Aes.of_key (hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+  in
+  check_hex "aes-256 encrypt" "8ea2b7ca516745bfeafc49904b496089" (Crypto.Aes.encrypt_block k256 pt);
+  Alcotest.(check string) "aes-128 decrypt" pt
+    (Crypto.Aes.decrypt_block k128 (Crypto.Aes.encrypt_block k128 pt))
+
+let test_aes_bad_key () =
+  Alcotest.check_raises "bad key length" (Invalid_argument "Aes.of_key: bad key length 10")
+    (fun () -> ignore (Crypto.Aes.of_key "0123456789"))
+
+(* --- Block modes ----------------------------------------------------------- *)
+
+let cbc_key = Crypto.Aes.of_key (String.init 16 (fun i -> Char.chr (17 * i land 0xff)))
+
+let test_cbc_roundtrip () =
+  let iv = String.make 16 '\x42' in
+  List.iter
+    (fun msg ->
+      let ct = Crypto.Block_mode.cbc_encrypt cbc_key ~iv msg in
+      Alcotest.(check int) "block aligned" 0 (String.length ct mod 16);
+      match Crypto.Block_mode.cbc_decrypt cbc_key ~iv ct with
+      | Ok pt -> Alcotest.(check string) "roundtrip" msg pt
+      | Error e -> Alcotest.fail e)
+    [ ""; "x"; String.make 15 'a'; String.make 16 'b'; String.make 17 'c'; String.make 100 'z' ]
+
+let test_cbc_tamper () =
+  let iv = String.make 16 '\x00' in
+  let ct = Crypto.Block_mode.cbc_encrypt cbc_key ~iv "attack at dawn" in
+  let bad = Bytes.of_string ct in
+  Bytes.set bad (Bytes.length bad - 1) '\xff';
+  (match Crypto.Block_mode.cbc_decrypt cbc_key ~iv (Bytes.to_string bad) with
+  | Ok pt when pt = "attack at dawn" -> Alcotest.fail "tampering unnoticed"
+  | Ok _ | Error _ -> ());
+  match Crypto.Block_mode.cbc_decrypt cbc_key ~iv "short" with
+  | Ok _ -> Alcotest.fail "accepted non-aligned ciphertext"
+  | Error _ -> ()
+
+let test_ctr_roundtrip () =
+  let msg = "counter mode keystream exercise, more than one block long" in
+  let ct = Crypto.Block_mode.ctr_encrypt cbc_key ~nonce:"nonce!" msg in
+  Alcotest.(check int) "length preserved" (String.length msg) (String.length ct);
+  Alcotest.(check bool) "actually encrypted" false (String.equal ct msg);
+  Alcotest.(check string) "roundtrip" msg (Crypto.Block_mode.ctr_decrypt cbc_key ~nonce:"nonce!" ct)
+
+(* --- Bignum ---------------------------------------------------------------- *)
+
+module B = Crypto.Bignum
+
+let bn = B.of_decimal
+
+let test_bignum_basics () =
+  Alcotest.(check string) "decimal roundtrip" "123456789012345678901234567890"
+    (B.to_decimal (bn "123456789012345678901234567890"));
+  Alcotest.(check int) "to_int" 123456 (B.to_int_exn (B.of_int 123456));
+  Alcotest.(check bool) "zero" true (B.is_zero B.zero);
+  Alcotest.(check int) "num_bits 255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "num_bits 256" 9 (B.num_bits (B.of_int 256));
+  let a = bn "340282366920938463463374607431768211456" (* 2^128 *) in
+  Alcotest.(check int) "num_bits 2^128" 129 (B.num_bits a);
+  Alcotest.(check string) "mul" "340282366920938463426481119284349108225"
+    (B.to_decimal (B.mul (bn "18446744073709551615") (bn "18446744073709551615")))
+
+let test_bignum_divmod () =
+  let a = bn "123456789123456789123456789" and b = bn "987654321987" in
+  let q, r = B.divmod a b in
+  Alcotest.(check string) "recompose" (B.to_decimal a)
+    (B.to_decimal (B.add (B.mul q b) r));
+  Alcotest.(check bool) "r < b" true (B.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (B.divmod a B.zero))
+
+let test_bignum_pow_mod () =
+  (* 5^3 mod 13 = 8; also a Fermat check: a^(p-1) = 1 mod p. *)
+  Alcotest.(check int) "5^3 mod 13" 8 (B.to_int_exn (B.pow_mod (B.of_int 5) (B.of_int 3) (B.of_int 13)));
+  let p = bn "115792089237316195423570985008687907853269984665640564039457584007913129639747" in
+  (* Not necessarily prime; use a known prime instead: 2^127 - 1. *)
+  ignore p;
+  let m127 = B.sub_int (B.shift_left B.one 127) 1 in
+  let a = bn "12345678901234567890" in
+  Alcotest.(check string) "fermat 2^127-1" "1"
+    (B.to_decimal (B.pow_mod a (B.sub_int m127 1) m127));
+  (* Even modulus path. *)
+  Alcotest.(check int) "3^4 mod 10" 1 (B.to_int_exn (B.pow_mod (B.of_int 3) (B.of_int 4) (B.of_int 10)))
+
+let test_bignum_mod_inverse () =
+  let p = B.of_int 101 in
+  for a = 1 to 100 do
+    let inv = B.mod_inverse_prime (B.of_int a) p in
+    Alcotest.(check int) (Printf.sprintf "inv %d" a) 1
+      (B.to_int_exn (B.rem (B.mul (B.of_int a) inv) p))
+  done
+
+let test_bignum_bytes () =
+  let v = bn "65280" in
+  Alcotest.(check string) "to_bytes_be" "\x00\xff\x00" (B.to_bytes_be ~len:3 v);
+  Alcotest.(check string) "of_bytes_be inverse" (B.to_decimal v)
+    (B.to_decimal (B.of_bytes_be "\xff\x00"));
+  Alcotest.check_raises "too wide" (Invalid_argument "Bignum.to_bytes_be: value too wide")
+    (fun () -> ignore (B.to_bytes_be ~len:1 v))
+
+(* qcheck generators: random bignums via decimal strings of bounded size. *)
+let gen_bignum =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    let* digits = string_size ~gen:(char_range '0' '9') (return n) in
+    return (B.of_decimal digits))
+
+let prop_add_sub =
+  QCheck2.Test.make ~name:"bignum add/sub roundtrip" ~count:500
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) -> B.equal a (B.sub (B.add a b) b))
+
+let prop_mul_comm =
+  QCheck2.Test.make ~name:"bignum mul commutative" ~count:300
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) -> B.equal (B.mul a b) (B.mul b a))
+
+let prop_mul_distrib =
+  QCheck2.Test.make ~name:"bignum mul distributes over add" ~count:300
+    QCheck2.Gen.(triple gen_bignum gen_bignum gen_bignum)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_divmod =
+  QCheck2.Test.make ~name:"bignum divmod invariant" ~count:500
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) ->
+      if B.is_zero b then QCheck2.assume_fail ()
+      else
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r) && B.compare r b < 0)
+
+let prop_bytes_roundtrip =
+  QCheck2.Test.make ~name:"bignum bytes roundtrip" ~count:300 gen_bignum (fun a ->
+      B.equal a (B.of_bytes_be (B.to_bytes_be a)))
+
+let prop_shift =
+  QCheck2.Test.make ~name:"bignum shift left/right" ~count:300
+    QCheck2.Gen.(pair gen_bignum (int_range 0 100))
+    (fun (a, k) -> B.equal a (B.shift_right (B.shift_left a k) k))
+
+let prop_pow_mod_matches_naive =
+  QCheck2.Test.make ~name:"pow_mod matches naive small cases" ~count:200
+    QCheck2.Gen.(triple (int_range 0 50) (int_range 0 12) (int_range 3 1001))
+    (fun (a, e, m) ->
+      let m = if m mod 2 = 0 then m + 1 else m in
+      let rec naive acc k = if k = 0 then acc else naive (acc * a mod m) (k - 1) in
+      B.to_int_exn (B.pow_mod (B.of_int a) (B.of_int e) (B.of_int m)) = naive 1 e)
+
+(* Montgomery field ops agree with direct modular arithmetic. *)
+let prop_field_ops =
+  QCheck2.Test.make ~name:"field ops match modular arithmetic" ~count:200
+    QCheck2.Gen.(pair gen_bignum gen_bignum)
+    (fun (a, b) ->
+      let p = B.sub_int (B.shift_left B.one 127) 1 in
+      let ctx = B.Field.create p in
+      let fa = B.Field.of_bignum ctx a and fb = B.Field.of_bignum ctx b in
+      let via_field op = B.Field.to_bignum ctx op in
+      B.equal (via_field (B.Field.mul ctx fa fb)) (B.rem (B.mul a b) p)
+      && B.equal (via_field (B.Field.add ctx fa fb)) (B.rem (B.add a b) p)
+      && B.equal
+           (via_field (B.Field.sub ctx fa fb))
+           (let am = B.rem a p and bm = B.rem b p in
+            if B.compare am bm >= 0 then B.sub am bm else B.sub (B.add am p) bm))
+
+(* --- DRBG ------------------------------------------------------------------ *)
+
+let test_drbg_determinism () =
+  let a = Crypto.Drbg.create ~seed:"fixed" and b = Crypto.Drbg.create ~seed:"fixed" in
+  Alcotest.(check string) "same seed, same stream"
+    (Crypto.Drbg.generate a 64) (Crypto.Drbg.generate b 64);
+  let c = Crypto.Drbg.create ~seed:"other" in
+  Alcotest.(check bool) "different seed, different stream" false
+    (String.equal (Crypto.Drbg.generate b 64) (Crypto.Drbg.generate c 64))
+
+let test_drbg_fork () =
+  let parent1 = Crypto.Drbg.create ~seed:"p" in
+  let parent2 = Crypto.Drbg.create ~seed:"p" in
+  let c1 = Crypto.Drbg.fork parent1 ~label:"a" in
+  let c2 = Crypto.Drbg.fork parent2 ~label:"a" in
+  Alcotest.(check string) "same fork label, same stream"
+    (Crypto.Drbg.generate c1 32) (Crypto.Drbg.generate c2 32);
+  let d1 = Crypto.Drbg.fork parent1 ~label:"x" in
+  let d2 = Crypto.Drbg.fork parent1 ~label:"y" in
+  Alcotest.(check bool) "distinct labels diverge" false
+    (String.equal (Crypto.Drbg.generate d1 32) (Crypto.Drbg.generate d2 32))
+
+let prop_drbg_int_below =
+  QCheck2.Test.make ~name:"int_below stays in range" ~count:300
+    QCheck2.Gen.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, salt) ->
+      let rng = Crypto.Drbg.create ~seed:(string_of_int salt) in
+      let v = Crypto.Drbg.int_below rng bound in
+      v >= 0 && v < bound)
+
+let test_drbg_weighted () =
+  let rng = Crypto.Drbg.create ~seed:"weighted" in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Crypto.Drbg.weighted rng [ (0.7, "a"); (0.2, "b"); (0.1, "c") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "a dominates" true (get "a" > get "b" && get "b" > get "c");
+  Alcotest.(check bool) "roughly calibrated" true
+    (abs (get "a" - 2100) < 300 && abs (get "c" - 300) < 150)
+
+(* --- PRF -------------------------------------------------------------------- *)
+
+let test_prf_shapes () =
+  let ms =
+    Crypto.Prf.master_secret ~pre_master:(String.make 48 'p')
+      ~client_random:(String.make 32 'c') ~server_random:(String.make 32 's')
+  in
+  Alcotest.(check int) "master secret is 48 bytes" 48 (String.length ms);
+  let kb = Crypto.Prf.key_block ~master:ms ~client_random:"c" ~server_random:"s" 104 in
+  Alcotest.(check int) "key block length honored" 104 (String.length kb);
+  let fin = Crypto.Prf.client_finished ~master:ms ~handshake_hash:(String.make 32 'h') in
+  Alcotest.(check int) "verify_data is 12 bytes" 12 (String.length fin);
+  Alcotest.(check bool) "client and server finished differ" false
+    (String.equal fin (Crypto.Prf.server_finished ~master:ms ~handshake_hash:(String.make 32 'h')))
+
+(* --- DH --------------------------------------------------------------------- *)
+
+let test_primality () =
+  let prime_cases = [ 2; 3; 5; 7; 97; 7919; 104729 ] in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "%d prime" n) true
+        (Crypto.Dh.is_probably_prime (B.of_int n)))
+    prime_cases;
+  let composite_cases = [ 1; 4; 100; 561 (* Carmichael *); 7917; 104731 ] in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "%d composite" n) false
+        (Crypto.Dh.is_probably_prime (B.of_int n)))
+    composite_cases;
+  (* 2^127 - 1 is a Mersenne prime. *)
+  Alcotest.(check bool) "2^127-1 prime" true
+    (Crypto.Dh.is_probably_prime (B.sub_int (B.shift_left B.one 127) 1))
+
+let test_oakley2_structure () =
+  let p = Crypto.Dh.group_p Crypto.Dh.oakley2 in
+  Alcotest.(check int) "1024 bits" 1024 (B.num_bits p);
+  Alcotest.(check bool) "p prime" true (Crypto.Dh.is_probably_prime ~rounds:8 p);
+  (* Oakley groups are safe primes: (p-1)/2 is prime too. *)
+  Alcotest.(check bool) "(p-1)/2 prime" true
+    (Crypto.Dh.is_probably_prime ~rounds:8 (B.shift_right (B.sub_int p 1) 1))
+
+let sim_group = Crypto.Dh.generate ~bits:64 ~seed:"test"
+
+let test_generated_group () =
+  let p = Crypto.Dh.group_p sim_group in
+  let g = Crypto.Dh.group_g sim_group in
+  Alcotest.(check bool) "p prime" true (Crypto.Dh.is_probably_prime p);
+  let q = B.shift_right (B.sub_int p 1) 1 in
+  Alcotest.(check bool) "safe prime" true (Crypto.Dh.is_probably_prime q);
+  (* g = 4 generates the order-q subgroup: g^q = 1. *)
+  Alcotest.(check bool) "g^q = 1" true (B.is_one (B.pow_mod g q p));
+  Alcotest.(check bool) "g^2 <> 1" false (B.is_one (B.pow_mod g B.two p))
+
+let test_dh_agreement () =
+  let rng = Crypto.Drbg.create ~seed:"dh-agree" in
+  for i = 1 to 10 do
+    let alice = Crypto.Dh.gen_keypair sim_group rng in
+    let bob = Crypto.Dh.gen_keypair sim_group rng in
+    let za =
+      Crypto.Dh.shared_secret_exn alice ~peer_pub:(B.of_bytes_be (Crypto.Dh.public_bytes bob))
+    in
+    let zb =
+      Crypto.Dh.shared_secret_exn bob ~peer_pub:(B.of_bytes_be (Crypto.Dh.public_bytes alice))
+    in
+    Alcotest.(check string) (Printf.sprintf "agreement %d" i) za zb
+  done
+
+let test_dh_rejects_degenerate () =
+  let rng = Crypto.Drbg.create ~seed:"dh-degenerate" in
+  let kp = Crypto.Dh.gen_keypair sim_group rng in
+  let p = Crypto.Dh.group_p sim_group in
+  List.iter
+    (fun (label, v) ->
+      match Crypto.Dh.shared_secret kp ~peer_pub:v with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (label ^ " accepted"))
+    [ ("zero", B.zero); ("one", B.one); ("p-1", B.sub_int p 1); ("p", p) ]
+
+let test_dh_oakley_agreement () =
+  let rng = Crypto.Drbg.create ~seed:"dh-oakley" in
+  let alice = Crypto.Dh.gen_keypair Crypto.Dh.oakley2 rng in
+  let bob = Crypto.Dh.gen_keypair Crypto.Dh.oakley2 rng in
+  let za = Crypto.Dh.shared_secret_exn alice ~peer_pub:(B.of_bytes_be (Crypto.Dh.public_bytes bob)) in
+  let zb = Crypto.Dh.shared_secret_exn bob ~peer_pub:(B.of_bytes_be (Crypto.Dh.public_bytes alice)) in
+  Alcotest.(check string) "1024-bit agreement" za zb;
+  Alcotest.(check int) "public width" 128 (String.length (Crypto.Dh.public_bytes alice))
+
+(* --- EC --------------------------------------------------------------------- *)
+
+module Ec = Crypto.Ec
+
+let test_p256_structure () =
+  Alcotest.(check bool) "G on curve" true (Ec.on_curve Ec.p256 (Ec.base_point Ec.p256));
+  Alcotest.(check bool) "p prime" true
+    (Crypto.Dh.is_probably_prime ~rounds:8 (Ec.curve_p Ec.p256));
+  Alcotest.(check bool) "n prime" true
+    (Crypto.Dh.is_probably_prime ~rounds:8 (Ec.curve_order Ec.p256));
+  (match Ec.scalar_mult_base Ec.p256 (Ec.curve_order Ec.p256) with
+  | Ec.Inf -> ()
+  | Ec.Affine _ -> Alcotest.fail "n * G should be infinity");
+  match Ec.scalar_mult_base Ec.p256 (B.sub_int (Ec.curve_order Ec.p256) 1) with
+  | Ec.Inf -> Alcotest.fail "(n-1) * G should not be infinity"
+  | Ec.Affine _ -> ()
+
+let small_curve = Ec.generate_small ~bits:61 ~seed:"test"
+
+let test_small_curve_structure () =
+  let g = Ec.base_point small_curve in
+  Alcotest.(check bool) "G on curve" true (Ec.on_curve small_curve g);
+  Alcotest.(check bool) "order prime" true
+    (Crypto.Dh.is_probably_prime (Ec.curve_order small_curve));
+  (match Ec.scalar_mult_base small_curve (Ec.curve_order small_curve) with
+  | Ec.Inf -> ()
+  | Ec.Affine _ -> Alcotest.fail "q * G should be infinity");
+  (* p = 4q - 1. *)
+  Alcotest.(check bool) "p = 4q - 1" true
+    (B.equal (Ec.curve_p small_curve)
+       (B.sub_int (B.shift_left (Ec.curve_order small_curve) 2) 1))
+
+let test_ec_group_laws () =
+  let c = small_curve in
+  let g = Ec.base_point c in
+  let p2 = Ec.double c g in
+  Alcotest.(check bool) "2G = G + G" true (Ec.add c g g = p2);
+  let p3_a = Ec.add c p2 g in
+  let p3_b = Ec.scalar_mult c (B.of_int 3) g in
+  Alcotest.(check bool) "2G + G = 3G" true (p3_a = p3_b);
+  (* Associativity sample: (2G + 3G) + 5G = 2G + (3G + 5G) = 10G. *)
+  let p5 = Ec.scalar_mult c (B.of_int 5) g in
+  let lhs = Ec.add c (Ec.add c p2 p3_a) p5 in
+  let rhs = Ec.add c p2 (Ec.add c p3_a p5) in
+  Alcotest.(check bool) "associativity" true (lhs = rhs);
+  Alcotest.(check bool) "matches 10G" true (lhs = Ec.scalar_mult c (B.of_int 10) g);
+  Alcotest.(check bool) "identity" true (Ec.add c g Ec.Inf = g)
+
+let test_ec_agreement () =
+  let rng = Crypto.Drbg.create ~seed:"ec-agree" in
+  for i = 1 to 10 do
+    let alice = Ec.gen_keypair small_curve rng in
+    let bob = Ec.gen_keypair small_curve rng in
+    let pub_of kp =
+      match Ec.point_of_bytes small_curve (Ec.public_bytes kp) with
+      | Ok p -> p
+      | Error e -> Alcotest.fail e
+    in
+    match
+      (Ec.shared_secret alice ~peer_pub:(pub_of bob), Ec.shared_secret bob ~peer_pub:(pub_of alice))
+    with
+    | Ok za, Ok zb -> Alcotest.(check string) (Printf.sprintf "agreement %d" i) za zb
+    | Error e, _ | _, Error e -> Alcotest.fail e
+  done
+
+let test_ec_rejects_off_curve () =
+  let c = small_curve in
+  let bogus = Ec.Affine (B.of_int 12345, B.of_int 678) in
+  if Ec.on_curve c bogus then ()
+  else begin
+    let rng = Crypto.Drbg.create ~seed:"ec-reject" in
+    let kp = Ec.gen_keypair c rng in
+    (match Ec.shared_secret kp ~peer_pub:bogus with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "off-curve point accepted");
+    match Ec.point_of_bytes c (Ec.point_bytes c bogus) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "off-curve encoding accepted"
+  end
+
+let test_p256_agreement () =
+  let rng = Crypto.Drbg.create ~seed:"p256-agree" in
+  let alice = Ec.gen_keypair Ec.p256 rng in
+  let bob = Ec.gen_keypair Ec.p256 rng in
+  let pub kp =
+    match Ec.point_of_bytes Ec.p256 (Ec.public_bytes kp) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  match (Ec.shared_secret alice ~peer_pub:(pub bob), Ec.shared_secret bob ~peer_pub:(pub alice)) with
+  | Ok za, Ok zb ->
+      Alcotest.(check string) "p256 agreement" za zb;
+      Alcotest.(check int) "x-coordinate width" 32 (String.length za)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* --- ECDSA ------------------------------------------------------------------- *)
+
+let ecdsa_curve = Ec.generate_small ~bits:53 ~seed:"ecdsa-test"
+
+let test_ecdsa_roundtrip () =
+  let rng = Crypto.Drbg.create ~seed:"ecdsa" in
+  let kp = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+  let msg = "to be signed" in
+  let sg = Crypto.Ecdsa.sign kp rng msg in
+  Alcotest.(check bool) "verifies" true
+    (Crypto.Ecdsa.verify ~curve:ecdsa_curve ~pub:(Crypto.Ecdsa.public_key kp) ~msg sg);
+  Alcotest.(check bool) "wrong message rejected" false
+    (Crypto.Ecdsa.verify ~curve:ecdsa_curve ~pub:(Crypto.Ecdsa.public_key kp) ~msg:"tampered" sg);
+  (* Wrong key rejected. *)
+  let other = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+  Alcotest.(check bool) "wrong key rejected" false
+    (Crypto.Ecdsa.verify ~curve:ecdsa_curve ~pub:(Crypto.Ecdsa.public_key other) ~msg sg)
+
+let test_ecdsa_signature_codec () =
+  let rng = Crypto.Drbg.create ~seed:"ecdsa-codec" in
+  let kp = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+  let sg = Crypto.Ecdsa.sign kp rng "payload" in
+  let bytes = Crypto.Ecdsa.signature_bytes ecdsa_curve sg in
+  (match Crypto.Ecdsa.signature_of_bytes ecdsa_curve bytes with
+  | Ok sg' ->
+      Alcotest.(check bool) "decoded signature verifies" true
+        (Crypto.Ecdsa.verify ~curve:ecdsa_curve ~pub:(Crypto.Ecdsa.public_key kp) ~msg:"payload" sg')
+  | Error e -> Alcotest.fail e);
+  match Crypto.Ecdsa.signature_of_bytes ecdsa_curve "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad length accepted"
+
+let test_ecdsa_static_ecdh () =
+  let rng = Crypto.Drbg.create ~seed:"ecdsa-ecdh" in
+  let a = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+  let b = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+  match
+    ( Crypto.Ecdsa.ecdh a ~peer_pub:(Crypto.Ecdsa.public_key b),
+      Crypto.Ecdsa.ecdh b ~peer_pub:(Crypto.Ecdsa.public_key a) )
+  with
+  | Ok za, Ok zb -> Alcotest.(check string) "static ecdh agreement" za zb
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let prop_ecdsa_sign_verify =
+  QCheck2.Test.make ~name:"ecdsa sign/verify" ~count:50
+    QCheck2.Gen.(pair small_int (string_size (int_range 0 100)))
+    (fun (salt, msg) ->
+      let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "e-%d" salt) in
+      let kp = Crypto.Ecdsa.gen_keypair ecdsa_curve rng in
+      let sg = Crypto.Ecdsa.sign kp rng msg in
+      Crypto.Ecdsa.verify ~curve:ecdsa_curve ~pub:(Crypto.Ecdsa.public_key kp) ~msg sg)
+
+(* --- X25519 (RFC 7748) ------------------------------------------------------- *)
+
+let test_x25519_vector () =
+  let scalar = hex "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4" in
+  let u = hex "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c" in
+  check_hex "rfc7748 vector 1" "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+    (Crypto.X25519.scalar_mult ~scalar ~u)
+
+let test_x25519_dh_vectors () =
+  (* Self-consistency: independently generated keypairs agree on the
+     shared secret, and the base point behaves. *)
+  Alcotest.(check int) "base point length" 32 (String.length Crypto.X25519.base_point);
+  let rng = Crypto.Drbg.create ~seed:"x25519" in
+  let kp1 = Crypto.X25519.gen_keypair rng in
+  let kp2 = Crypto.X25519.gen_keypair rng in
+  match
+    ( Crypto.X25519.shared_secret kp1 ~peer_pub:(Crypto.X25519.public_bytes kp2),
+      Crypto.X25519.shared_secret kp2 ~peer_pub:(Crypto.X25519.public_bytes kp1) )
+  with
+  | Ok za, Ok zb -> Alcotest.(check string) "agreement" za zb
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let prop_x25519_agreement =
+  QCheck2.Test.make ~name:"x25519 agreement" ~count:20 QCheck2.Gen.small_int (fun salt ->
+      let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "x-%d" salt) in
+      let kp1 = Crypto.X25519.gen_keypair rng in
+      let kp2 = Crypto.X25519.gen_keypair rng in
+      match
+        ( Crypto.X25519.shared_secret kp1 ~peer_pub:(Crypto.X25519.public_bytes kp2),
+          Crypto.X25519.shared_secret kp2 ~peer_pub:(Crypto.X25519.public_bytes kp1) )
+      with
+      | Ok za, Ok zb -> String.equal za zb
+      | _ -> false)
+
+(* --- Suite -------------------------------------------------------------------- *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "hex",
+        [ Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "streaming" `Quick test_sha256_streaming;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors;
+          Alcotest.test_case "constant-time equal" `Quick test_hmac_ct_equal;
+        ] );
+      ( "aes",
+        [
+          Alcotest.test_case "FIPS 197 vectors" `Quick test_aes_vectors;
+          Alcotest.test_case "bad key" `Quick test_aes_bad_key;
+        ] );
+      ( "block-mode",
+        [
+          Alcotest.test_case "cbc roundtrip" `Quick test_cbc_roundtrip;
+          Alcotest.test_case "cbc tamper" `Quick test_cbc_tamper;
+          Alcotest.test_case "ctr roundtrip" `Quick test_ctr_roundtrip;
+        ] );
+      ( "bignum",
+        [
+          Alcotest.test_case "basics" `Quick test_bignum_basics;
+          Alcotest.test_case "divmod" `Quick test_bignum_divmod;
+          Alcotest.test_case "pow_mod" `Quick test_bignum_pow_mod;
+          Alcotest.test_case "mod inverse" `Quick test_bignum_mod_inverse;
+          Alcotest.test_case "byte conversions" `Quick test_bignum_bytes;
+        ] );
+      qsuite "bignum-properties"
+        [
+          prop_add_sub;
+          prop_mul_comm;
+          prop_mul_distrib;
+          prop_divmod;
+          prop_bytes_roundtrip;
+          prop_shift;
+          prop_pow_mod_matches_naive;
+          prop_field_ops;
+        ];
+      ( "drbg",
+        [
+          Alcotest.test_case "determinism" `Quick test_drbg_determinism;
+          Alcotest.test_case "fork" `Quick test_drbg_fork;
+          Alcotest.test_case "weighted" `Quick test_drbg_weighted;
+        ] );
+      qsuite "drbg-properties" [ prop_drbg_int_below ];
+      ("prf", [ Alcotest.test_case "shapes" `Quick test_prf_shapes ]);
+      ( "dh",
+        [
+          Alcotest.test_case "primality" `Quick test_primality;
+          Alcotest.test_case "oakley2 structure" `Slow test_oakley2_structure;
+          Alcotest.test_case "generated group" `Quick test_generated_group;
+          Alcotest.test_case "agreement" `Quick test_dh_agreement;
+          Alcotest.test_case "degenerate rejection" `Quick test_dh_rejects_degenerate;
+          Alcotest.test_case "oakley2 agreement" `Slow test_dh_oakley_agreement;
+        ] );
+      ( "ec",
+        [
+          Alcotest.test_case "p256 structure" `Slow test_p256_structure;
+          Alcotest.test_case "small curve structure" `Quick test_small_curve_structure;
+          Alcotest.test_case "group laws" `Quick test_ec_group_laws;
+          Alcotest.test_case "agreement" `Quick test_ec_agreement;
+          Alcotest.test_case "off-curve rejection" `Quick test_ec_rejects_off_curve;
+          Alcotest.test_case "p256 agreement" `Slow test_p256_agreement;
+        ] );
+      ( "ecdsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_ecdsa_roundtrip;
+          Alcotest.test_case "signature codec" `Quick test_ecdsa_signature_codec;
+          Alcotest.test_case "static ecdh" `Quick test_ecdsa_static_ecdh;
+        ] );
+      qsuite "ecdsa-properties" [ prop_ecdsa_sign_verify ];
+      ( "x25519",
+        [
+          Alcotest.test_case "rfc7748 vector" `Quick test_x25519_vector;
+          Alcotest.test_case "dh self-consistency" `Quick test_x25519_dh_vectors;
+        ] );
+      qsuite "x25519-properties" [ prop_x25519_agreement ];
+    ]

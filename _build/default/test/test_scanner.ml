@@ -1,0 +1,298 @@
+(* Tests for the scanner: observation records (CSV round-trip), burst
+   scans, the resumption-delay walks, the daily campaign, and the
+   cross-domain probe — all against one small shared world. *)
+
+let world_config =
+  { Simnet.World.default_config with Simnet.World.n_domains = 1600; seed = "scanner-test" }
+
+let world = lazy (Simnet.World.create ~config:world_config ())
+
+let subset_domains names =
+  let w = Lazy.force world in
+  Some
+    (List.filter_map (fun n -> Simnet.World.find_domain w n) names)
+
+(* --- Observations ---------------------------------------------------------------- *)
+
+let sample_conn =
+  {
+    Scanner.Observation.time = 12345;
+    domain = "example.com";
+    ok = true;
+    resumed = Scanner.Observation.By_ticket;
+    cipher = Some Tls.Types.ECDHE_ECDSA_AES128_SHA256;
+    session_id_set = true;
+    session_id = "aabb";
+    trusted = true;
+    stek_id = Some "deadbeef";
+    ticket_hint = Some 300;
+    dhe_value = None;
+    ecdhe_value = Some "0011";
+  }
+
+let test_csv_roundtrip () =
+  let row = Scanner.Observation.to_csv_row sample_conn in
+  match Scanner.Observation.of_csv_row row with
+  | Some c -> Alcotest.(check bool) "roundtrip" true (c = sample_conn)
+  | None -> Alcotest.fail "row did not parse"
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "tlsharm" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let conns =
+        [ sample_conn; Scanner.Observation.failed_conn ~time:1 ~domain:"down.example" ]
+      in
+      Scanner.Observation.write_csv path conns;
+      match Scanner.Observation.read_csv path with
+      | Ok read -> Alcotest.(check bool) "file roundtrip" true (read = conns)
+      | Error e -> Alcotest.fail e)
+
+let prop_csv_roundtrip =
+  QCheck2.Test.make ~name:"conn CSV roundtrip" ~count:200
+    QCheck2.Gen.(
+      let hexstr = map (fun n -> Printf.sprintf "%x" (abs n)) big_nat in
+      let* time = int_range 0 1_000_000_000 in
+      let* ok = bool in
+      let* trusted = bool in
+      let* id_set = bool in
+      let* stek = option hexstr in
+      let* hint = option (int_range 0 10_000_000) in
+      let* dhe = option hexstr in
+      let* ecdhe = option hexstr in
+      return
+        {
+          Scanner.Observation.time;
+          domain = "a.example";
+          ok;
+          resumed = Scanner.Observation.No_resumption;
+          cipher = Some Tls.Types.DHE_ECDSA_AES128_SHA256;
+          session_id_set = id_set;
+          session_id = "00ff";
+          trusted;
+          stek_id = stek;
+          ticket_hint = hint;
+          dhe_value = dhe;
+          ecdhe_value = ecdhe;
+        })
+    (fun conn ->
+      match Scanner.Observation.of_csv_row (Scanner.Observation.to_csv_row conn) with
+      | Some c -> c = conn
+      | None -> false)
+
+(* --- Burst scans -------------------------------------------------------------------- *)
+
+let test_repeats () =
+  Alcotest.(check (pair bool bool)) "empty" (false, false) (Scanner.Burst_scan.repeats []);
+  Alcotest.(check (pair bool bool)) "single" (false, false) (Scanner.Burst_scan.repeats [ "a" ]);
+  Alcotest.(check (pair bool bool)) "all same" (true, true) (Scanner.Burst_scan.repeats [ "a"; "a"; "a" ]);
+  Alcotest.(check (pair bool bool)) "some repeat" (true, false)
+    (Scanner.Burst_scan.repeats [ "a"; "b"; "a" ]);
+  Alcotest.(check (pair bool bool)) "all distinct" (false, false)
+    (Scanner.Burst_scan.repeats [ "a"; "b"; "c" ])
+
+let test_burst_scan () =
+  let w = Lazy.force world in
+  let probe = Scanner.Probe.create ~seed:"burst-test" w in
+  let domains = subset_domains [ "google.com"; "yahoo.com"; "netflix.com" ] in
+  let results = Scanner.Burst_scan.run probe ~domains ~rounds:5 ~gap:10 () in
+  Alcotest.(check int) "three results" 3 (List.length results);
+  List.iter
+    (fun (r : Scanner.Burst_scan.domain_result) ->
+      Alcotest.(check int) "five attempts" 5 r.Scanner.Burst_scan.attempts;
+      Alcotest.(check bool) "mostly successful" true (r.Scanner.Burst_scan.successes >= 4);
+      Alcotest.(check bool) "trusted" true r.Scanner.Burst_scan.trusted;
+      (* All three notables issue tickets. *)
+      Alcotest.(check bool) "stek ids seen" true
+        (Scanner.Burst_scan.result_values ~field:`Stek r <> []))
+    results
+
+let test_burst_detects_static_stek () =
+  let w = Lazy.force world in
+  let probe = Scanner.Probe.create ~seed:"burst-static" w in
+  let results = Scanner.Burst_scan.run probe ~domains:(subset_domains [ "yahoo.com" ]) ~rounds:6 ~gap:10 () in
+  match results with
+  | [ r ] ->
+      let any2, all = Scanner.Burst_scan.repeats (Scanner.Burst_scan.result_values ~field:`Stek r) in
+      Alcotest.(check bool) "static STEK repeats" true (any2 && all)
+  | _ -> Alcotest.fail "expected one result"
+
+(* --- Resumption scans ------------------------------------------------------------------ *)
+
+let test_resumption_scan_sessions () =
+  let w = Lazy.force world in
+  let probe = Scanner.Probe.create ~offer_ticket:false ~seed:"resume-test" w in
+  let domains = subset_domains [ "yahoo.com"; "netflix.com" ] in
+  let results =
+    Scanner.Resumption_scan.run probe ~mode:Scanner.Resumption_scan.Session_ids
+      ~max_delay:(30 * 60) ~domains ()
+  in
+  Alcotest.(check int) "two results" 2 (List.length results);
+  List.iter
+    (fun (r : Scanner.Resumption_scan.domain_result) ->
+      Alcotest.(check bool) "https" true r.Scanner.Resumption_scan.https;
+      Alcotest.(check bool) "supports ids" true r.Scanner.Resumption_scan.supports;
+      Alcotest.(check bool) "resumed at 1s" true r.Scanner.Resumption_scan.resumed_at_1s;
+      match r.Scanner.Resumption_scan.max_honored with
+      | Some h ->
+          (* Notables cache sessions for 5 minutes. *)
+          Alcotest.(check bool) "bounded by cache lifetime" true (h <= 10 * 60)
+      | None -> Alcotest.fail "no honored delay recorded")
+    results
+
+let test_resumption_scan_tickets () =
+  let w = Lazy.force world in
+  let probe = Scanner.Probe.create ~seed:"resume-ticket-test" w in
+  let domains = subset_domains [ "google.com" ] in
+  let results =
+    Scanner.Resumption_scan.run probe ~mode:Scanner.Resumption_scan.Tickets
+      ~max_delay:(50 * 60) ~domains ()
+  in
+  match results with
+  | [ r ] ->
+      Alcotest.(check bool) "issued ticket" true r.Scanner.Resumption_scan.supports;
+      Alcotest.(check bool) "hint recorded" true
+        (r.Scanner.Resumption_scan.hint = Some (28 * 3600));
+      (* Google accepts far beyond our truncated walk. *)
+      Alcotest.(check bool) "honored through the walk" true
+        (match r.Scanner.Resumption_scan.max_honored with Some h -> h >= 45 * 60 | None -> false)
+  | _ -> Alcotest.fail "expected one result"
+
+(* --- Daily scan --------------------------------------------------------------------------- *)
+
+let test_daily_scan () =
+  (* A private world: the campaign moves the clock by days. *)
+  let w =
+    Simnet.World.create
+      ~config:{ world_config with Simnet.World.seed = "daily-test"; n_domains = 1500 }
+      ()
+  in
+  let days = 4 in
+  let campaign = Scanner.Daily_scan.run w ~days () in
+  Alcotest.(check int) "day count" days campaign.Scanner.Daily_scan.n_days;
+  Alcotest.(check int) "series per domain" 1500 (Array.length campaign.Scanner.Daily_scan.series);
+  (* yahoo: static STEK, same id on every present day. *)
+  let yahoo =
+    Array.to_list campaign.Scanner.Daily_scan.series
+    |> List.find (fun (s : Scanner.Daily_scan.domain_series) ->
+           String.equal s.Scanner.Daily_scan.domain "yahoo.com")
+  in
+  let yahoo_steks =
+    Array.to_list yahoo.Scanner.Daily_scan.days
+    |> List.filter_map (fun (r : Scanner.Daily_scan.day_record) -> r.Scanner.Daily_scan.stek_id)
+  in
+  Alcotest.(check int) "yahoo scanned daily" days (List.length yahoo_steks);
+  Alcotest.(check bool) "yahoo STEK constant" true
+    (match yahoo_steks with
+    | first :: rest -> List.for_all (String.equal first) rest
+    | [] -> false);
+  Alcotest.(check bool) "yahoo trusted" true yahoo.Scanner.Daily_scan.trusted;
+  (* google: 14h rotation, so 4 days must show several STEKs. *)
+  let google =
+    Array.to_list campaign.Scanner.Daily_scan.series
+    |> List.find (fun (s : Scanner.Daily_scan.domain_series) ->
+           String.equal s.Scanner.Daily_scan.domain "google.com")
+  in
+  let google_steks =
+    Array.to_list google.Scanner.Daily_scan.days
+    |> List.filter_map (fun (r : Scanner.Daily_scan.day_record) -> r.Scanner.Daily_scan.stek_id)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "google STEK rotates" true (List.length google_steks >= 3)
+
+let test_campaign_save_load () =
+  let w =
+    Simnet.World.create
+      ~config:{ world_config with Simnet.World.seed = "persist-test"; n_domains = 1500 }
+      ()
+  in
+  let campaign = Scanner.Daily_scan.run w ~days:3 () in
+  let path = Filename.temp_file "tlsharm" ".campaign.csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scanner.Daily_scan.save campaign path;
+      match Scanner.Daily_scan.load path with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+          Alcotest.(check int) "days preserved" campaign.Scanner.Daily_scan.n_days
+            loaded.Scanner.Daily_scan.n_days;
+          Alcotest.(check int) "series preserved"
+            (Array.length campaign.Scanner.Daily_scan.series)
+            (Array.length loaded.Scanner.Daily_scan.series);
+          (* Analyses agree on the round-tripped data. *)
+          let spans t = Analysis.Lifetime.analyze ~field:Analysis.Lifetime.Stek t in
+          let summarize t = Analysis.Lifetime.summarize (spans t) in
+          let a = summarize campaign and b = summarize loaded in
+          Alcotest.(check (float 1e-3)) "population" a.Analysis.Lifetime.population
+            b.Analysis.Lifetime.population;
+          Alcotest.(check (float 1e-3)) "never" a.Analysis.Lifetime.never_observed
+            b.Analysis.Lifetime.never_observed;
+          Alcotest.(check bool) "per-series records equal" true
+            (Array.for_all2
+               (fun (x : Scanner.Daily_scan.domain_series) (y : Scanner.Daily_scan.domain_series) ->
+                 x.Scanner.Daily_scan.domain = y.Scanner.Daily_scan.domain
+                 && x.Scanner.Daily_scan.days = y.Scanner.Daily_scan.days)
+               campaign.Scanner.Daily_scan.series loaded.Scanner.Daily_scan.series))
+
+(* --- Cross-domain probe --------------------------------------------------------------------- *)
+
+let test_cross_probe () =
+  let w =
+    Simnet.World.create
+      ~config:{ world_config with Simnet.World.seed = "cross-test"; n_domains = 1500 }
+      ()
+  in
+  let cloudflare =
+    Array.to_list (Simnet.World.domains w)
+    |> List.filter (fun d -> String.equal (Simnet.World.domain_operator d) "cloudflare")
+  in
+  Alcotest.(check bool) "several cloudflare domains" true (List.length cloudflare >= 4);
+  let result = Scanner.Cross_probe.run w ~domains:(Some cloudflare) () in
+  Alcotest.(check bool) "participants resumed" true
+    (List.length result.Scanner.Cross_probe.participants >= 2);
+  (* Domains behind the same pod share a cache, so edges must appear. *)
+  Alcotest.(check bool) "cross-domain edges found" true
+    (result.Scanner.Cross_probe.edges <> []);
+  (* And the edges must stay inside the operator. *)
+  List.iter
+    (fun (e : Scanner.Cross_probe.edge) ->
+      let op n =
+        match Simnet.World.find_domain w n with
+        | Some d -> Simnet.World.domain_operator d
+        | None -> "?"
+      in
+      Alcotest.(check string) "edge within operator" (op e.Scanner.Cross_probe.from_domain)
+        (op e.Scanner.Cross_probe.to_domain))
+    result.Scanner.Cross_probe.edges
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "scanner"
+    [
+      ( "observations",
+        [
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+        ] );
+      qsuite "observation-properties" [ prop_csv_roundtrip ];
+      ( "burst",
+        [
+          Alcotest.test_case "repeats" `Quick test_repeats;
+          Alcotest.test_case "scan" `Quick test_burst_scan;
+          Alcotest.test_case "static stek detection" `Quick test_burst_detects_static_stek;
+        ] );
+      ( "resumption",
+        [
+          Alcotest.test_case "session ids" `Quick test_resumption_scan_sessions;
+          Alcotest.test_case "tickets" `Quick test_resumption_scan_tickets;
+        ] );
+      ( "daily",
+        [
+          Alcotest.test_case "campaign" `Slow test_daily_scan;
+          Alcotest.test_case "save/load" `Slow test_campaign_save_load;
+        ] );
+      ("cross-probe", [ Alcotest.test_case "cloudflare" `Slow test_cross_probe ]);
+    ]
