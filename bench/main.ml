@@ -9,11 +9,13 @@
      bench/main.exe t1 f3 google    run selected experiments
      bench/main.exe micro           microbenchmarks only
      bench/main.exe ablations       section 8.2 what-ifs only
+     bench/main.exe parallel        serial vs parallel campaign wall-clock
 
    Environment:
      TLSHARM_DOMAINS  sampled world size (default 4000)
      TLSHARM_DAYS     campaign length in days (default 63)
-     TLSHARM_SEED     world seed (default "tlsharm") *)
+     TLSHARM_SEED     world seed (default "tlsharm")
+     TLSHARM_JOBS     campaign worker domains (default 1) *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -29,6 +31,7 @@ let study_config () =
         seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
       };
     campaign_days = env_int "TLSHARM_DAYS" 63;
+    jobs = env_int "TLSHARM_JOBS" 1;
     verbose = true;
   }
 
@@ -231,6 +234,62 @@ let microbenches () =
      the paper's crypto shortcuts; production-sized DHE (Oakley 1024) shows why servers\n\
      cached ephemeral values.\n"
 
+(* --- Serial vs parallel campaign ----------------------------------------------------- *)
+
+(* Wall-clock comparison of the serial daily scan against the
+   operator-sharded parallel runner, plus the determinism check the
+   parallel design promises: a 1-worker and an N-worker run of the same
+   world produce identical series. Each run gets a fresh world (campaigns
+   mutate server state), sized by TLSHARM_DOMAINS/TLSHARM_DAYS with
+   smaller defaults than the full study so "bench all" stays quick. *)
+let parallel_campaign_bench () =
+  let n_domains = env_int "TLSHARM_DOMAINS" 2000 in
+  let days = env_int "TLSHARM_DAYS" 7 in
+  let fresh () =
+    Simnet.World.create
+      ~config:
+        {
+          Simnet.World.default_config with
+          Simnet.World.n_domains;
+          seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+        }
+      ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = max 2 (Domain.recommended_domain_count ()) in
+  let world = fresh () in
+  let n_shards = Array.length (Scanner.Parallel_campaign.shards world) in
+  let serial, t_serial = time (fun () -> Scanner.Daily_scan.run world ~days ()) in
+  let par, t_par = time (fun () -> Scanner.Parallel_campaign.run ~jobs (fresh ()) ~days ()) in
+  let one, t_one = time (fun () -> Scanner.Parallel_campaign.run ~jobs:1 (fresh ()) ~days ()) in
+  let deterministic = par.Scanner.Daily_scan.series = one.Scanner.Daily_scan.series in
+  Analysis.Report.section "Campaign runners (wall-clock)"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Runner"; "Wall-clock"; "Notes" ]
+      ~rows:
+        [
+          [ "serial Daily_scan.run"; Printf.sprintf "%.2f s" t_serial; "" ];
+          [
+            Printf.sprintf "Parallel_campaign.run ~jobs:%d" jobs;
+            Printf.sprintf "%.2f s" t_par;
+            Printf.sprintf "%.2fx vs 1 worker" (t_one /. t_par);
+          ];
+          [ "Parallel_campaign.run ~jobs:1"; Printf.sprintf "%.2f s" t_one; "" ];
+        ]
+  ^ Printf.sprintf
+      "\n\n%d domains, %d days, %d shards, %d core(s) available; %d-worker series %s 1-worker \
+       series (%d domains scanned either way).\n"
+      n_domains days n_shards
+      (Domain.recommended_domain_count ())
+      jobs
+      (if deterministic then "identical to" else "DIFFER FROM (BUG)")
+      (Array.length serial.Scanner.Daily_scan.series)
+
 (* --- Driver ------------------------------------------------------------------------- *)
 
 let ablations () = Tlsharm.Mitigations.report (Lazy.force study)
@@ -243,6 +302,7 @@ let named : (string * (unit -> string)) list =
       ("ablations", ablations);
       ("tls13", tls13);
       ("micro", microbenches);
+      ("parallel", parallel_campaign_bench);
     ]
 
 let () =

@@ -23,13 +23,30 @@ let seed_arg = Arg.(value & opt string "tlsharm" & info [ "seed" ] ~docv:"SEED" 
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress on stderr.")
 
+let default_jobs =
+  match Sys.getenv_opt "TLSHARM_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int default_jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the longitudinal campaign (default \\$(b,TLSHARM_JOBS) or 1). With \
+           N > 1 the campaign runs operator-sharded in parallel; results are deterministic for \
+           any N but follow a per-shard probe-seed schedule, so they differ from a serial (N=1) \
+           run.")
+
 let world_config ~domains ~seed =
   { Simnet.World.default_config with Simnet.World.n_domains = domains; seed }
 
-let study_config ~domains ~days ~seed ~verbose =
+let study_config ~domains ~days ~seed ~jobs ~verbose =
   {
     Tlsharm.Study.world_config = world_config ~domains ~seed;
     campaign_days = days;
+    jobs;
     verbose;
   }
 
@@ -116,8 +133,8 @@ let scan_cmd =
 
 (* --- reproduce / experiment ----------------------------------------------------------- *)
 
-let run_experiments ids domains days seed verbose =
-  let config = study_config ~domains ~days ~seed ~verbose in
+let run_experiments ids domains days seed jobs verbose =
+  let config = study_config ~domains ~days ~seed ~jobs ~verbose in
   let study = Tlsharm.Study.create ~config () in
   let named =
     Tlsharm.Experiments.by_name
@@ -152,22 +169,29 @@ let experiment_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (t1..t7, f1..f8, google, ablations, tls13).") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run selected experiments of the study.")
-    Term.(ret (const run_experiments $ ids $ domains_arg $ days_arg $ seed_arg $ verbose_arg))
+    Term.(
+      ret (const run_experiments $ ids $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg))
 
 let reproduce_cmd =
   Cmd.v
     (Cmd.info "reproduce" ~doc:"Run the full study and print every table and figure.")
-    Term.(ret (const (run_experiments []) $ domains_arg $ days_arg $ seed_arg $ verbose_arg))
+    Term.(
+      ret
+        (const (run_experiments []) $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg))
 
 (* --- campaign / analyze -------------------------------------------------------------------- *)
 
-let campaign domains days seed out =
+let campaign domains days seed jobs out =
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
-  let t = Scanner.Daily_scan.run world ~days () in
+  let t =
+    if jobs > 1 then Scanner.Parallel_campaign.run ~jobs world ~days ()
+    else Scanner.Daily_scan.run world ~days ()
+  in
   Scanner.Daily_scan.save t out;
-  Printf.printf "wrote %d-day campaign over %d domains to %s\n" days
+  Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
     (Array.length t.Scanner.Daily_scan.series)
-    out;
+    out
+    (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else "");
   `Ok ()
 
 let campaign_cmd =
@@ -179,7 +203,7 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a daily longitudinal campaign and archive it as CSV.")
-    Term.(ret (const campaign $ domains_arg $ days_arg $ seed_arg $ out))
+    Term.(ret (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out))
 
 let analyze path =
   match Scanner.Daily_scan.load path with

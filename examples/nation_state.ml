@@ -11,6 +11,7 @@
 let () =
   let config =
     {
+      Tlsharm.Study.default_config with
       Tlsharm.Study.world_config =
         { Simnet.World.default_config with Simnet.World.n_domains = 2500 };
       campaign_days = 14;

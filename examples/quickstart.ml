@@ -9,6 +9,7 @@ let () =
      behaviour. Small and fast here; scale [n_domains] up for fidelity. *)
   let config =
     {
+      Tlsharm.Study.default_config with
       Tlsharm.Study.world_config =
         { Simnet.World.default_config with Simnet.World.n_domains = 2000 };
       campaign_days = 21 (* three weeks instead of nine, for speed *);

@@ -108,6 +108,7 @@ let () =
     Tlsharm.Study.create
       ~config:
         {
+          Tlsharm.Study.default_config with
           Tlsharm.Study.world_config =
             { Simnet.World.default_config with Simnet.World.n_domains = 2000 };
           campaign_days = 21;

@@ -24,21 +24,24 @@ let cdf points : cdf =
   let total = total_weight sorted in
   if total <= 0.0 then []
   else begin
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    (* Cumulative heights, then collapse duplicate values to their final
+       height. Array-based and built back to front: stack depth stays
+       O(1) at the million-point populations the north star calls for
+       (the previous non-tail [dedup] overflowed there). *)
+    let cum = Array.make n 0.0 in
     let acc = ref 0.0 in
-    (* Collapse duplicate values to their final cumulative height. *)
-    let steps =
-      List.map
-        (fun p ->
-          acc := !acc +. p.weight;
-          (p.value, !acc /. total))
-        sorted
-    in
-    let rec dedup = function
-      | (v1, _) :: ((v2, _) :: _ as rest) when v1 = v2 -> dedup rest
-      | step :: rest -> step :: dedup rest
-      | [] -> []
-    in
-    dedup steps
+    for i = 0 to n - 1 do
+      acc := !acc +. arr.(i).weight;
+      cum.(i) <- !acc /. total
+    done;
+    let steps = ref [] in
+    for i = n - 1 downto 0 do
+      if i = n - 1 || arr.(i).value <> arr.(i + 1).value then
+        steps := (arr.(i).value, cum.(i)) :: !steps
+    done;
+    !steps
   end
 
 (* Fraction of mass at or below [x]. *)
@@ -72,19 +75,28 @@ let mean points =
   else List.fold_left (fun acc p -> acc +. (p.value *. p.weight)) 0.0 points /. total
 
 (* Weighted histogram over explicit bucket upper bounds (ascending); the
-   final bucket is open-ended. Returns per-bucket weight. *)
+   final bucket is open-ended. Returns per-bucket weight. Bucket lookup
+   is a binary search, not a linear rescan per point. *)
 let histogram ~bounds points =
-  let n = List.length bounds + 1 in
-  let buckets = Array.make n 0.0 in
   let bounds_arr = Array.of_list bounds in
+  let nb = Array.length bounds_arr in
+  let buckets = Array.make (nb + 1) 0.0 in
+  (* Smallest i with v <= bounds.(i), or nb for the open bucket (which
+     also absorbs NaN, as the linear scan did). *)
+  let bucket_of v =
+    if nb = 0 || not (v <= bounds_arr.(nb - 1)) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if v <= bounds_arr.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+  in
   List.iter
     (fun p ->
-      let rec find i =
-        if i >= Array.length bounds_arr then Array.length bounds_arr
-        else if p.value <= bounds_arr.(i) then i
-        else find (i + 1)
-      in
-      let i = find 0 in
+      let i = bucket_of p.value in
       buckets.(i) <- buckets.(i) +. p.weight)
     points;
   buckets

@@ -1,48 +1,4 @@
-(* Union-find over string keys with path compression and union by size;
-   used to grow service groups transitively (if a's session resumes on b
-   and b's on c, then a, b and c share state — Section 5.1). *)
-
-type t = {
-  parent : (string, string) Hashtbl.t;
-  size : (string, int) Hashtbl.t;
-}
-
-let create () = { parent = Hashtbl.create 1024; size = Hashtbl.create 1024 }
-
-let add t x =
-  if not (Hashtbl.mem t.parent x) then begin
-    Hashtbl.replace t.parent x x;
-    Hashtbl.replace t.size x 1
-  end
-
-let rec find t x =
-  add t x;
-  let p = Hashtbl.find t.parent x in
-  if String.equal p x then x
-  else begin
-    let root = find t p in
-    Hashtbl.replace t.parent x root;
-    root
-  end
-
-let union t a b =
-  let ra = find t a and rb = find t b in
-  if not (String.equal ra rb) then begin
-    let sa = Hashtbl.find t.size ra and sb = Hashtbl.find t.size rb in
-    let big, small = if sa >= sb then (ra, rb) else (rb, ra) in
-    Hashtbl.replace t.parent small big;
-    Hashtbl.replace t.size big (sa + sb)
-  end
-
-let connected t a b = String.equal (find t a) (find t b)
-
-(* All groups as lists of members, largest first. *)
-let groups t =
-  let by_root = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun x _ ->
-      let root = find t x in
-      Hashtbl.replace by_root root (x :: Option.value ~default:[] (Hashtbl.find_opt by_root root)))
-    t.parent;
-  Hashtbl.fold (fun _ members acc -> members :: acc) by_root []
-  |> List.sort (fun a b -> compare (List.length b) (List.length a))
+(* Re-export: the implementation moved to {!Scanner.Union_find} so the
+   parallel campaign sharder (which the analysis layer sits above) can
+   reuse the exact service-group machinery. *)
+include Scanner.Union_find

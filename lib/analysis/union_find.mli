@@ -1,15 +1,9 @@
 (** Union-find over string keys (path compression, union by size), used
     to grow service groups transitively: if a's session resumes on b and
-    b's on c, then a, b and c share state (Section 5.1). *)
+    b's on c, then a, b and c share state (Section 5.1). This is a
+    re-export of {!Scanner.Union_find}, where the implementation lives so
+    the campaign sharder can use it too. *)
 
-type t
-
-val create : unit -> t
-val add : t -> string -> unit
-val find : t -> string -> string
-val union : t -> string -> string -> unit
-val connected : t -> string -> string -> bool
-
-val groups : t -> string list list
-(** All groups (every added element appears exactly once), largest
-    first. *)
+include module type of struct
+  include Scanner.Union_find
+end

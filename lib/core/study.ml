@@ -21,11 +21,12 @@
 type config = {
   world_config : Simnet.World.config;
   campaign_days : int;
+  jobs : int; (* campaign worker domains; > 1 uses Parallel_campaign *)
   verbose : bool;
 }
 
 let default_config =
-  { world_config = Simnet.World.default_config; campaign_days = 63; verbose = false }
+  { world_config = Simnet.World.default_config; campaign_days = 63; jobs = 1; verbose = false }
 
 type t = {
   config : config;
@@ -175,11 +176,18 @@ let campaign t =
       let clock = Simnet.World.clock t.world in
       let now = Simnet.Clock.now clock in
       Simnet.Clock.set clock ((now / Simnet.Clock.day * Simnet.Clock.day) + Simnet.Clock.day);
-      log t "study: daily campaign (%d days)" t.config.campaign_days;
       let r =
-        Scanner.Daily_scan.run t.world ~days:t.config.campaign_days
-          ~progress:(fun day -> log t "study: campaign day %d" day)
-          ()
+        if t.config.jobs > 1 then begin
+          log t "study: daily campaign (%d days, %d jobs)" t.config.campaign_days t.config.jobs;
+          Scanner.Parallel_campaign.run ~jobs:t.config.jobs t.world ~days:t.config.campaign_days
+            ()
+        end
+        else begin
+          log t "study: daily campaign (%d days)" t.config.campaign_days;
+          Scanner.Daily_scan.run t.world ~days:t.config.campaign_days
+            ~progress:(fun day -> log t "study: campaign day %d" day)
+            ()
+        end
       in
       t.campaign <- Some r;
       r

@@ -7,6 +7,11 @@
 type config = {
   world_config : Simnet.World.config;
   campaign_days : int;  (** 63 in the paper *)
+  jobs : int;
+      (** worker domains for the longitudinal campaign; [> 1] runs it
+          through {!Scanner.Parallel_campaign} (deterministic for any job
+          count, but a different — per-shard — probe-seed schedule than
+          the serial scan). Default 1. *)
   verbose : bool;  (** progress on stderr *)
 }
 

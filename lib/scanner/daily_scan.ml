@@ -54,7 +54,10 @@ let day_row ~(series : domain_series) (r : day_record) =
     [
       series.domain;
       string_of_int series.rank;
-      Printf.sprintf "%.6f" series.weight;
+      (* %.17g round-trips every float exactly; %.6f silently truncated
+         Horvitz-Thompson weights like 142.857142857… and skewed every
+         weighted tally recomputed from an archived campaign. *)
+      Printf.sprintf "%.17g" series.weight;
       string_of_bool series.trusted;
       string_of_bool series.stable;
       string_of_int r.day;
@@ -67,26 +70,40 @@ let day_row ~(series : domain_series) (r : day_record) =
       opt_str r.dhe_value;
     ]
 
+(* Rows are batched through a [Buffer] and written in ~1MB slabs: a
+   10k-domain, 63-day campaign is ~630k rows, and per-row [output_string]
+   calls dominated save time on the seed. *)
+let save_flush_threshold = 1 lsl 20
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "#tlsharm-campaign,start_day=%d,n_days=%d\n" t.start_day t.n_days;
-      output_string oc csv_header;
-      output_char oc '\n';
+      let buf = Buffer.create (64 * 1024) in
+      let flush () =
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      in
+      Printf.bprintf buf "#tlsharm-campaign,start_day=%d,n_days=%d\n" t.start_day t.n_days;
+      Buffer.add_string buf csv_header;
+      Buffer.add_char buf '\n';
       Array.iter
         (fun series ->
           Array.iter
             (fun r ->
-              output_string oc (day_row ~series r);
-              output_char oc '\n')
+              Buffer.add_string buf (day_row ~series r);
+              Buffer.add_char buf '\n';
+              if Buffer.length buf >= save_flush_threshold then flush ())
             series.days)
-        t.series)
+        t.series;
+      flush ())
 
 let load path =
   let ( let* ) = Result.bind in
-  let ic = open_in path in
+  match open_in path with
+  | exception Sys_error e -> Error ("campaign: " ^ e)
+  | ic ->
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -101,7 +118,11 @@ let load path =
                   | _ -> None
                 in
                 match (field sd, field nd) with
-                | Some a, Some b -> Ok (a, b)
+                | Some a, Some b when a >= 0 && b > 0 -> Ok (a, b)
+                | Some _, Some b when b <= 0 ->
+                    Error (Printf.sprintf "campaign: invalid n_days=%d in metadata" b)
+                | Some a, Some _ ->
+                    Error (Printf.sprintf "campaign: invalid start_day=%d in metadata" a)
                 | _ -> Error "campaign: bad metadata line")
             | _ -> Error "campaign: bad metadata line")
         | _ -> Error "campaign: missing metadata line"
@@ -151,10 +172,18 @@ let load path =
         | line when first && String.equal line csv_header -> read_rows false
         | line ->
             let* domain, rank, weight, trusted, stable, record = parse_row line in
+            (* A day outside [0, n_days) means the file contradicts its
+               own metadata; dropping the row silently (as earlier
+               versions did) hides the corruption from the caller. *)
+            let* () =
+              if record.day >= 0 && record.day < n_days then Ok ()
+              else
+                Error
+                  (Printf.sprintf "campaign: day %d out of range [0,%d) in row: %s" record.day
+                     n_days line)
+            in
             (match Hashtbl.find_opt by_domain domain with
-            | Some series ->
-                if record.day >= 0 && record.day < n_days then
-                  series.days.(record.day) <- record
+            | Some series -> series.days.(record.day) <- record
             | None ->
                 let days =
                   Array.init n_days (fun day ->
@@ -169,7 +198,7 @@ let load path =
                         dhe_value = None;
                       })
                 in
-                if record.day >= 0 && record.day < n_days then days.(record.day) <- record;
+                days.(record.day) <- record;
                 Hashtbl.replace by_domain domain { domain; rank; weight; trusted; stable; days };
                 order := domain :: !order);
             read_rows false
@@ -180,12 +209,16 @@ let load path =
       in
       Ok { start_day; n_days; series })
 
-let run world ~days ?(progress = fun _ -> ()) () =
-  let clock = Simnet.World.clock world in
+(* Scan [domains] for [days] days, driving [clock] (both probes must read
+   it). This is the sequential inner loop shared by the serial campaign
+   ([run], over all domains on the world clock) and by each shard of
+   {!Parallel_campaign} (a connectivity-closed subset on a private
+   clock). The probe-call sequence for a fixed domain array is identical
+   either way, which is what makes shard results independent of worker
+   count. *)
+let run_subset ~clock ~default_probe ~dhe_probe ~(domains : Simnet.World.domain array) ~days
+    ?(progress = fun _ -> ()) () =
   let start = Simnet.Clock.now clock in
-  let default_probe = Probe.create ~seed:"daily-default" world in
-  let dhe_probe = Probe.dhe_only world ~seed:"daily-dhe" in
-  let domains = Simnet.World.domains world in
   let n = Array.length domains in
   let records = Array.make_matrix n days None in
   for day = 0 to days - 1 do
@@ -224,36 +257,42 @@ let run world ~days ?(progress = fun _ -> ()) () =
   done;
   (* Leave the clock at the end of the campaign. *)
   Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
-  let series =
-    Array.mapi
-      (fun i d ->
-        let days_arr =
-          Array.init days (fun day ->
-              match records.(i).(day) with
-              | Some r -> r
-              | None ->
-                  {
-                    day;
-                    present = false;
-                    default_ok = false;
-                    stek_id = None;
-                    ticket_hint = None;
-                    ecdhe_value = None;
-                    dhe_ok = false;
-                    dhe_value = None;
-                  })
-        in
-        {
-          domain = Simnet.World.domain_name d;
-          rank = Simnet.World.domain_rank d;
-          weight = Simnet.World.domain_weight d;
-          trusted =
-            (* Cached by the default probe during the campaign. *)
-            Option.value ~default:false
-              (Hashtbl.find_opt default_probe.Probe.trust_cache (Simnet.World.domain_name d));
-          stable = Simnet.World.domain_stable d;
-          days = days_arr;
-        })
-      domains
-  in
+  Array.mapi
+    (fun i d ->
+      let days_arr =
+        Array.init days (fun day ->
+            match records.(i).(day) with
+            | Some r -> r
+            | None ->
+                {
+                  day;
+                  present = false;
+                  default_ok = false;
+                  stek_id = None;
+                  ticket_hint = None;
+                  ecdhe_value = None;
+                  dhe_ok = false;
+                  dhe_value = None;
+                })
+      in
+      {
+        domain = Simnet.World.domain_name d;
+        rank = Simnet.World.domain_rank d;
+        weight = Simnet.World.domain_weight d;
+        trusted =
+          (* Cached by the default probe during the campaign. *)
+          Option.value ~default:false
+            (Hashtbl.find_opt default_probe.Probe.trust_cache (Simnet.World.domain_name d));
+        stable = Simnet.World.domain_stable d;
+        days = days_arr;
+      })
+    domains
+
+let run world ~days ?progress () =
+  let clock = Simnet.World.clock world in
+  let start = Simnet.Clock.now clock in
+  let default_probe = Probe.create ~seed:"daily-default" world in
+  let dhe_probe = Probe.dhe_only world ~seed:"daily-dhe" in
+  let domains = Simnet.World.domains world in
+  let series = run_subset ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () in
   { start_day = start / Simnet.Clock.day; n_days = days; series }

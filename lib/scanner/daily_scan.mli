@@ -30,6 +30,30 @@ val run : Simnet.World.t -> days:int -> ?progress:(int -> unit) -> unit -> t
 (** Runs the campaign, advancing the world's clock day by day; leaves the
     clock at the campaign's end. *)
 
+val run_subset :
+  clock:Simnet.Clock.t ->
+  default_probe:Probe.t ->
+  dhe_probe:Probe.t ->
+  domains:Simnet.World.domain array ->
+  days:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  domain_series array
+(** The sequential inner loop of {!run}, parameterized so
+    {!Parallel_campaign} can drive a connectivity-closed subset of
+    domains on a shard-private clock. Both probes must read [clock]
+    (create them with [?clock]); it is advanced through each scan day and
+    left at the campaign's end. *)
+
 val csv_header : string
+
 val save : t -> string -> unit
+(** Writes the campaign CSV through an internal buffer (large campaigns
+    are hundreds of thousands of rows); weights are formatted so they
+    round-trip exactly through {!load}. *)
+
 val load : string -> (t, string) result
+(** [Error] on malformed rows, metadata declaring a non-positive
+    [n_days], or rows whose day index falls outside the declared range —
+    a file that contradicts its own metadata is reported, not silently
+    repaired. *)

@@ -1,0 +1,169 @@
+(* Operator-sharded parallel campaign runner.
+
+   The longitudinal campaign is embarrassingly parallel *between*
+   clusters of domains that share no TLS secret state, and strictly
+   sequential *within* such a cluster: two probes racing on one
+   endpoint's session cache (or on one STEK manager's rotation clock)
+   would both corrupt the simulation's memory-safety story and break
+   determinism. So the world is cut along its shared-state edges first:
+
+   - every HTTPS domain contributes its {!Simnet.World.domain_shard_keys}
+     (endpoint identity — which subsumes session-cache, kex-cache and
+     farm-pod sharing — plus the key-material identity of every STEK
+     manager its farm uses);
+   - keys are unioned through {!Union_find}, so domains connected
+     transitively (a.com shares an endpoint with b.com, whose operator
+     shares STEKs with c.com's) land in one connectivity component;
+   - components are packed, in world (rank) order, into shards of
+     roughly [target] domains to amortize per-shard probe setup.
+
+   Each shard then runs the ordinary {!Daily_scan.run_subset} loop with
+   private probes on a private {!Simnet.Clock}, and a fixed pool of
+   [Domain.spawn] workers drains the shard queue. Two determinism
+   properties fall out, and the test suite checks both:
+
+   - shard composition and per-shard probe seeds depend only on the
+     world and [target], never on the worker count, so a 1-worker and an
+     8-worker run of the same world produce byte-identical series;
+   - each shard's result lands in a slot owned by exactly one worker, so
+     the merge (by rank, then name) needs no synchronization beyond
+     [Domain.join].
+
+   Note the parallel campaign is *not* byte-identical to the serial
+   {!Daily_scan.run}: per-shard probes draw from per-shard DRBG streams
+   (seeded by shard id), where the serial scan threads two probes through
+   every domain. Both are valid campaigns over the same world; each is
+   reproducible on its own terms. *)
+
+type shard = {
+  shard_id : int;
+  members : Simnet.World.domain array; (* in world (rank) order *)
+}
+
+(* Group domains into connectivity components via their shared-state
+   keys, then pack components into shards of roughly [target] members.
+   Deterministic in world order; independent of any worker count. *)
+let shards ?(target = 256) world =
+  if target <= 0 then invalid_arg "Parallel_campaign.shards: target must be positive";
+  let domains = Simnet.World.domains world in
+  let uf = Union_find.create () in
+  let keys =
+    Array.map
+      (fun d ->
+        let ks = Simnet.World.domain_shard_keys world d in
+        (match ks with
+        | first :: rest -> List.iter (fun k -> Union_find.union uf first k) rest
+        | [] -> ());
+        ks)
+      domains
+  in
+  (* Component representative per domain; no-HTTPS domains have no keys
+     and are free agents packable anywhere. *)
+  let repr i = match keys.(i) with [] -> None | k :: _ -> Some (Union_find.find uf k) in
+  (* Bucket domain indices by component, keeping first-seen order of
+     components and world order within each. *)
+  let comp_order = ref [] in
+  let comp_members : (string, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let singletons = ref [] in
+  Array.iteri
+    (fun i _ ->
+      match repr i with
+      | None -> singletons := i :: !singletons
+      | Some r -> (
+          match Hashtbl.find_opt comp_members r with
+          | Some l -> l := i :: !l
+          | None ->
+              Hashtbl.add comp_members r (ref [ i ]);
+              comp_order := r :: !comp_order))
+    domains;
+  let components =
+    List.rev_map (fun r -> List.rev !(Hashtbl.find comp_members r)) !comp_order
+    @ List.rev_map (fun i -> [ i ]) !singletons
+  in
+  (* Greedy packing: components in first-seen order, a shard closes once
+     it reaches [target] members. A component larger than [target] gets a
+     shard of its own — it cannot be split. *)
+  let shards = ref [] in
+  let current = ref [] in
+  let current_n = ref 0 in
+  let close () =
+    if !current_n > 0 then begin
+      shards := List.rev !current :: !shards;
+      current := [];
+      current_n := 0
+    end
+  in
+  List.iter
+    (fun comp ->
+      let n = List.length comp in
+      if !current_n > 0 && !current_n + n > target then close ();
+      current := List.rev_append comp !current;
+      current_n := !current_n + n;
+      if !current_n >= target then close ())
+    components;
+  close ();
+  List.rev !shards
+  |> List.mapi (fun shard_id idxs ->
+         let idxs = List.sort compare idxs in
+         { shard_id; members = Array.of_list (List.map (fun i -> domains.(i)) idxs) })
+  |> Array.of_list
+
+let run ?jobs ?progress world ~days () =
+  let clock = Simnet.World.clock world in
+  let start = Simnet.Clock.now clock in
+  let shard_arr = shards world in
+  let n_shards = Array.length shard_arr in
+  let jobs =
+    let requested =
+      match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min requested n_shards)
+  in
+  let results = Array.make n_shards [||] in
+  let run_shard (s : shard) =
+    (* Private clock and probes: the shard replays the standard daily
+       sweep schedule without touching the world clock or any state
+       outside its connectivity component. Seeds derive from the shard
+       id, so they are stable for a fixed world regardless of [jobs]. *)
+    let clock = Simnet.Clock.create ~start () in
+    let default_probe =
+      Probe.create ~clock ~seed:(Printf.sprintf "daily-default:shard:%d" s.shard_id) world
+    in
+    let dhe_probe =
+      Probe.dhe_only ~clock world ~seed:(Printf.sprintf "daily-dhe:shard:%d" s.shard_id)
+    in
+    let progress =
+      Option.map (fun p day -> p ~shard:s.shard_id ~day) progress
+    in
+    results.(s.shard_id) <-
+      Daily_scan.run_subset ~clock ~default_probe ~dhe_probe ~domains:s.members ~days ?progress
+        ()
+  in
+  (* Fixed worker pool over an atomic shard queue. Each slot of [results]
+     is written by exactly one worker (the one that claimed that shard),
+     and [Domain.join] publishes the writes before the merge reads them.
+     With [jobs = 1] — including the [Domain.recommended_domain_count ()
+     = 1] fallback — no domain is spawned and the main domain drains the
+     queue sequentially. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n_shards then begin
+        run_shard shard_arr.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  (* The serial campaign leaves the world clock at the campaign's end;
+     keep that contract so downstream experiments see the same time. *)
+  Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
+  let series = Array.concat (Array.to_list results) in
+  Array.sort
+    (fun (a : Daily_scan.domain_series) b -> compare (a.rank, a.domain) (b.rank, b.domain))
+    series;
+  { Daily_scan.start_day = start / Simnet.Clock.day; n_days = days; series }

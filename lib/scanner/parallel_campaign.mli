@@ -1,0 +1,37 @@
+(** Operator-sharded parallel campaign runner.
+
+    Cuts the world into connectivity shards along its shared-TLS-state
+    edges (endpoint identity and STEK key material, unioned through
+    {!Union_find}), then runs the standard daily-scan loop over each
+    shard with private probes and a private {!Simnet.Clock}, fanned over
+    a fixed pool of [Domain.spawn] workers. Shard composition and
+    per-shard seeds depend only on the world, never on the worker count,
+    so results are byte-identical for any [jobs] — see the implementation
+    header for the full argument (and for why the parallel campaign is
+    deliberately {e not} byte-identical to the serial
+    {!Daily_scan.run}). *)
+
+type shard = {
+  shard_id : int;
+  members : Simnet.World.domain array;  (** in world (rank) order *)
+}
+
+val shards : ?target:int -> Simnet.World.t -> shard array
+(** The deterministic shard decomposition: connectivity components of
+    {!Simnet.World.domain_shard_keys}, packed in world order into shards
+    of roughly [target] (default 256) domains. Components never split
+    across shards; every world domain appears in exactly one shard.
+    Raises [Invalid_argument] if [target <= 0]. *)
+
+val run :
+  ?jobs:int ->
+  ?progress:(shard:int -> day:int -> unit) ->
+  Simnet.World.t ->
+  days:int ->
+  unit ->
+  Daily_scan.t
+(** Runs the campaign over all shards with [jobs] workers (default
+    [Domain.recommended_domain_count ()], clamped to the shard count;
+    [jobs <= 1] runs sequentially on the calling domain). Leaves the
+    world clock at the campaign's end, like the serial runner. [progress]
+    is called from worker domains — keep it reentrant. *)

@@ -13,9 +13,13 @@ type t = {
   client : Tls.Client.t;
   trust_cache : (string, bool) Hashtbl.t;
   env : Tls.Config.env;
+  clock : Simnet.Clock.t;
+      (* the clock this probe reads time from: the world clock for serial
+         sweeps, a shard-private clock in a parallel campaign *)
 }
 
-let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ~seed world =
+let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ?clock ~seed world
+    =
   let env = Simnet.World.env world in
   let client =
     Tls.Client.create
@@ -31,13 +35,16 @@ let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) 
         }
       ~rng:(Crypto.Drbg.create ~seed:("probe:" ^ seed)) ()
   in
-  { world; client; trust_cache = Hashtbl.create 4096; env }
+  let clock = Option.value clock ~default:(Simnet.World.clock world) in
+  { world; client; trust_cache = Hashtbl.create 256; env; clock }
 
-let dhe_only world ~seed =
-  create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ~seed world
+let dhe_only ?clock world ~seed =
+  create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock ~seed
+    world
 
-let ecdhe_only world ~seed =
-  create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ~seed world
+let ecdhe_only ?clock world ~seed =
+  create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock ~seed
+    world
 
 let evaluate_trust t ~domain ~chain ~now =
   match Hashtbl.find_opt t.trust_cache domain with
@@ -99,8 +106,8 @@ let observe t ~domain (outcome : Tls.Engine.outcome) ~now =
    the raw outcome (which carries the session/ticket needed to build the
    next offer). *)
 let connect ?(offer = Tls.Client.Fresh) t ~domain =
-  let now = Simnet.Clock.now (Simnet.World.clock t.world) in
-  match Simnet.World.connect t.world ~client:t.client ~hostname:domain ~offer with
+  let now = Simnet.Clock.now t.clock in
+  match Simnet.World.connect ~clock:t.clock t.world ~client:t.client ~hostname:domain ~offer with
   | Error _ -> (Observation.failed_conn ~time:now ~domain, None)
   | Ok outcome -> (observe t ~domain outcome ~now, Some outcome)
 

@@ -8,13 +8,21 @@ type t = {
   client : Tls.Client.t;
   trust_cache : (string, bool) Hashtbl.t;
   env : Tls.Config.env;
+  clock : Simnet.Clock.t;
 }
 
 val create :
-  ?offer_suites:Tls.Types.cipher_suite list -> ?offer_ticket:bool -> seed:string -> Simnet.World.t -> t
+  ?offer_suites:Tls.Types.cipher_suite list ->
+  ?offer_ticket:bool ->
+  ?clock:Simnet.Clock.t ->
+  seed:string ->
+  Simnet.World.t ->
+  t
+(** [clock] defaults to the world clock; a parallel campaign gives each
+    shard's probes a private clock instead. *)
 
-val dhe_only : Simnet.World.t -> seed:string -> t
-val ecdhe_only : Simnet.World.t -> seed:string -> t
+val dhe_only : ?clock:Simnet.Clock.t -> Simnet.World.t -> seed:string -> t
+val ecdhe_only : ?clock:Simnet.Clock.t -> Simnet.World.t -> seed:string -> t
 
 val evaluate_trust : t -> domain:string -> chain:Tls.Cert.t list -> now:int -> bool
 (** Chain validation, cached per domain. *)
@@ -23,7 +31,7 @@ val observe : t -> domain:string -> Tls.Engine.outcome -> now:int -> Observation
 
 val connect :
   ?offer:Tls.Client.offer -> t -> domain:string -> Observation.conn * Tls.Engine.outcome option
-(** One connection at the world's current virtual time. *)
+(** One connection at the probe clock's current virtual time. *)
 
 (** {2 Resumption state} *)
 

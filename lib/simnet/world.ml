@@ -144,6 +144,36 @@ let domain_mx_google d = d.d_mx_google
 let domain_ip d = d.d_ip
 let domain_asn d = match d.d_endpoint with Some ep -> ep.ep_asn | None -> 0
 
+(* --- Shard accessors ------------------------------------------------------------
+
+   Identifiers of every shared-secret-state component a domain's
+   connections can mutate. Two domains may be scanned concurrently iff
+   the transitive closure of these keys keeps them apart:
+
+   - ["ep:<id>"] — the endpoint: its session cache, per-slot ephemeral
+     key-exchange caches, per-slot servers and the failure/affinity RNGs
+     are all endpoint-scoped, so this one key subsumes the session-cache
+     and operator-pod edges of Section 5;
+   - ["stek:<id>"] — each slot's STEK manager, keyed by the identity of
+     its key material: operator-scoped STEKs (CloudFlare) and the seeded
+     cross-operator clusters (Jack Henry) span endpoints, which is
+     exactly the cross-domain sharing that forbids independent scans.
+
+   Domains without HTTPS touch no server state and return no keys. *)
+
+let domain_shard_keys _t d =
+  match d.d_endpoint with
+  | None -> []
+  | Some ep ->
+      let keys = ref [ Printf.sprintf "ep:%d" ep.ep_id ] in
+      Array.iter
+        (fun slot ->
+          match slot.sl_stek with
+          | None -> ()
+          | Some m -> keys := ("stek:" ^ Tls.Stek_manager.id m) :: !keys)
+        ep.ep_slots;
+      List.sort_uniq compare !keys
+
 (* --- Builder ------------------------------------------------------------------- *)
 
 type builder = {
@@ -836,9 +866,11 @@ let process_restarts ep ~now =
 
 type connect_error = No_such_domain | No_https | Connection_failed
 
-(* Connect to a non-web TLS service host (a mail front-end). *)
-let connect_service_host t ~client ~hostname ~offer =
-  let now = Clock.now t.clock in
+(* Connect to a non-web TLS service host (a mail front-end). [clock]
+   overrides the world clock; a parallel campaign shard reads time from
+   its own clock while touching only its shard's endpoints. *)
+let connect_service_host ?clock t ~client ~hostname ~offer =
+  let now = Clock.now (Option.value clock ~default:t.clock) in
   match Hashtbl.find_opt t.service_hosts hostname with
   | None -> Error No_such_domain
   | Some ep ->
@@ -855,12 +887,12 @@ let connect_service_host t ~client ~hostname ~offer =
    provider runs TLS mail front-ends we model. *)
 let mx_host _t d = if d.d_mx_google then Some (mx_host_of_operator "google") else None
 
-let connect t ~client ~hostname ~offer =
-  let now = Clock.now t.clock in
+let connect ?clock t ~client ~hostname ~offer =
+  let now = Clock.now (Option.value clock ~default:t.clock) in
   match Hashtbl.find_opt t.by_name hostname with
   | None -> (
       match Hashtbl.find_opt t.service_hosts hostname with
-      | Some _ -> connect_service_host t ~client ~hostname ~offer
+      | Some _ -> connect_service_host ?clock t ~client ~hostname ~offer
       | None -> Error No_such_domain)
   | Some d -> (
       match d.d_endpoint with

@@ -63,6 +63,14 @@ val domain_asn : domain -> int
 val in_list_on_day : domain -> day:int -> bool
 (** Deterministic Alexa-churn membership. *)
 
+val domain_shard_keys : t -> domain -> string list
+(** Identifiers of the shared-secret-state components this domain's
+    connections mutate (its endpoint — which subsumes the session-cache
+    and pod edges — plus every STEK manager its farm uses, keyed by key
+    material identity). Domains whose key sets are transitively connected
+    must be scanned by the same worker; see
+    {!Scanner.Parallel_campaign}. Empty for domains without HTTPS. *)
+
 val domains_in_asn : t -> int -> string list
 val domains_on_ip : t -> int -> string list
 val stable_trusted_https : t -> domain list
@@ -74,6 +82,7 @@ val stable_trusted_https : t -> domain list
 type connect_error = No_such_domain | No_https | Connection_failed
 
 val connect :
+  ?clock:Clock.t ->
   t ->
   client:Tls.Client.t ->
   hostname:string ->
@@ -82,7 +91,9 @@ val connect :
 (** One connection at the current virtual time: resolves the domain (or
     a modeled service host, e.g. a mail front-end), applies due process
     restarts, picks a farm process (no client affinity), and runs the
-    handshake. *)
+    handshake. [clock] substitutes for the world clock — a parallel
+    campaign shard advances its own clock while only ever connecting to
+    the endpoints of its shard. *)
 
 val mx_host : t -> domain -> string option
 (** The TLS mail front-end a domain's MX points at, when its provider is
@@ -91,6 +102,7 @@ val mx_host : t -> domain -> string option
     sharing. *)
 
 val connect_service_host :
+  ?clock:Clock.t ->
   t ->
   client:Tls.Client.t ->
   hostname:string ->

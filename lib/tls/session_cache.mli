@@ -12,6 +12,11 @@ val create : lifetime:int -> capacity:int -> t
 val lifetime : t -> int
 val size : t -> int
 
+val queue_length : t -> int
+(** Diagnostic: current length of the FIFO eviction queue, including
+    not-yet-purged ghosts of removed entries. Bounded by twice the
+    capacity regardless of campaign length. *)
+
 val store : t -> now:int -> Session.t -> unit
 (** Raises [Invalid_argument] on an empty session ID. *)
 

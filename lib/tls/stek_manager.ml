@@ -36,12 +36,17 @@ type t = {
   secret : string; (* root secret for derivation *)
   mutable process_stek : Stek.t option; (* for Static / Per_process *)
   mutable process_started_at : int;
+  origin : int; (* creation time: start of the first [Scheduled] interval *)
 }
 
 let create ~policy ~secret ~now =
-  { policy; secret; process_stek = None; process_started_at = now }
+  { policy; secret; process_stek = None; process_started_at = now; origin = now }
 
 let policy t = t.policy
+
+(* Stable identity of the shared key material: two managers with the same
+   id derive the same STEKs. The campaign sharder keys on this. *)
+let id t = t.secret
 
 (* Simulate a server process restart: a [Per_process] manager forgets its
    STEK and generates a fresh one on next use; [Static] reloads the same
@@ -75,6 +80,13 @@ let current_period t ~now =
   | Scheduled boundaries -> schedule_interval boundaries ~now
   | Static | Per_process -> 0
 
+(* Start of schedule interval [k]: the (k-1)-th rotation boundary, or the
+   manager's creation time before the first rotation. Mirrors how
+   [Rotate_every] stamps keys with the start of their issue period rather
+   than whatever probe time first touched them. *)
+let scheduled_interval_start t boundaries k =
+  if k = 0 then t.origin else List.nth boundaries (k - 1)
+
 (* The STEK currently used to *issue* tickets. *)
 let issuing t ~now =
   match t.policy with
@@ -83,7 +95,8 @@ let issuing t ~now =
   | Rotate_every { period; _ } ->
       Stek.derive ~secret:t.secret ~period:(now / period) ~now:(now / period * period)
   | Scheduled boundaries ->
-      Stek.derive ~secret:t.secret ~period:(schedule_interval boundaries ~now) ~now
+      let k = schedule_interval boundaries ~now in
+      Stek.derive ~secret:t.secret ~period:k ~now:(scheduled_interval_start t boundaries k)
 
 (* Resolve a key name for ticket decryption. Under rotation, keys from the
    accept window remain valid after they stop issuing. *)
@@ -100,7 +113,10 @@ let find_for_decrypt t ~now key_name =
       in
       List.find_map
         (fun period ->
-          let candidate = Stek.derive ~secret:t.secret ~period ~now in
+          let candidate =
+            Stek.derive ~secret:t.secret ~period
+              ~now:(scheduled_interval_start t boundaries period)
+          in
           if String.equal (Stek.key_name candidate) key_name then Some candidate else None)
         candidates
   | Rotate_every { period; accept_window } ->

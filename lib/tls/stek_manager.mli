@@ -22,6 +22,11 @@ type t
 val create : policy:policy -> secret:string -> now:int -> t
 val policy : t -> policy
 
+val id : t -> string
+(** Stable identity of the shared key material (the derivation root):
+    managers with equal ids issue and accept the same STEKs. Used by the
+    campaign sharder to keep co-keyed domains on one worker. *)
+
 val restart : t -> now:int -> unit
 (** Simulated process restart: a [Per_process] manager forgets its key;
     the other policies survive. *)

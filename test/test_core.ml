@@ -7,6 +7,7 @@ let study =
   lazy
     (let config =
        {
+         Tlsharm.Study.default_config with
          Tlsharm.Study.world_config =
            { Simnet.World.default_config with Simnet.World.n_domains = 1500; seed = "core-test" };
          campaign_days = 8;

@@ -236,6 +236,152 @@ let test_campaign_save_load () =
                  && x.Scanner.Daily_scan.days = y.Scanner.Daily_scan.days)
                campaign.Scanner.Daily_scan.series loaded.Scanner.Daily_scan.series))
 
+(* A property over the campaign archive: any well-formed campaign value
+   survives save/load exactly — including weights like 1000/7 that the
+   old %.6f formatting truncated. *)
+let campaign_gen =
+  QCheck2.Gen.(
+    let hex = map (fun n -> Printf.sprintf "%x" (abs n + 1)) big_nat in
+    let* n_days = int_range 1 4 in
+    let* start_day = int_range 0 20_000 in
+    let day_record day =
+      let* present = bool in
+      let* default_ok = bool in
+      let* stek_id = option hex in
+      let* ticket_hint = option (int_range 0 1_000_000) in
+      let* ecdhe_value = option hex in
+      let* dhe_ok = bool in
+      let* dhe_value = option hex in
+      return
+        {
+          Scanner.Daily_scan.day;
+          present;
+          default_ok;
+          stek_id;
+          ticket_hint;
+          ecdhe_value;
+          dhe_ok;
+          dhe_value;
+        }
+    in
+    let series i =
+      let* rank = int_range 1 1_000_000 in
+      let* num = int_range 1 100_000 in
+      let* den = int_range 1 13 in
+      let* trusted = bool in
+      let* stable = bool in
+      let* days = flatten_l (List.init n_days day_record) in
+      return
+        {
+          Scanner.Daily_scan.domain = Printf.sprintf "d%d.example" i;
+          rank;
+          weight = float_of_int num /. float_of_int den;
+          trusted;
+          stable;
+          days = Array.of_list days;
+        }
+    in
+    let* n_series = int_range 1 5 in
+    let* series = flatten_l (List.init n_series series) in
+    return { Scanner.Daily_scan.start_day; n_days; series = Array.of_list series })
+
+let prop_campaign_roundtrip =
+  QCheck2.Test.make ~name:"campaign save/load roundtrip" ~count:100 campaign_gen (fun t ->
+      let path = Filename.temp_file "tlsharm" ".campaign.csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Scanner.Daily_scan.save t path;
+          match Scanner.Daily_scan.load path with Ok t' -> t' = t | Error _ -> false))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let test_load_rejects_bad_metadata () =
+  let path = Filename.temp_file "tlsharm" ".campaign.csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path ("#tlsharm-campaign,start_day=3,n_days=0\n" ^ Scanner.Daily_scan.csv_header ^ "\n");
+      (match Scanner.Daily_scan.load path with
+      | Ok _ -> Alcotest.fail "n_days=0 must be rejected"
+      | Error e -> Alcotest.(check bool) "mentions n_days" true (String.length e > 0));
+      write_file path
+        ("#tlsharm-campaign,start_day=-1,n_days=2\n" ^ Scanner.Daily_scan.csv_header ^ "\n");
+      match Scanner.Daily_scan.load path with
+      | Ok _ -> Alcotest.fail "negative start_day must be rejected"
+      | Error _ -> ())
+
+let test_load_rejects_out_of_range_day () =
+  let path = Filename.temp_file "tlsharm" ".campaign.csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path
+        ("#tlsharm-campaign,start_day=0,n_days=2\n" ^ Scanner.Daily_scan.csv_header ^ "\n"
+       ^ "a.example,1,1,true,true,5,true,true,,,,false,\n");
+      match Scanner.Daily_scan.load path with
+      | Ok _ -> Alcotest.fail "day 5 of a 2-day campaign must be rejected"
+      | Error e -> Alcotest.(check bool) "error mentions range" true (String.length e > 0))
+
+(* --- Parallel campaign ------------------------------------------------------------------------ *)
+
+let parallel_world_config =
+  { world_config with Simnet.World.seed = "parallel-test"; n_domains = 1500 }
+
+let test_shards_partition () =
+  let w = Simnet.World.create ~config:parallel_world_config () in
+  let shards = Scanner.Parallel_campaign.shards w in
+  let total = Array.fold_left (fun acc s -> acc + Array.length s.Scanner.Parallel_campaign.members) 0 shards in
+  Alcotest.(check int) "every domain in exactly one shard (by count)"
+    (Array.length (Simnet.World.domains w))
+    total;
+  let seen = Hashtbl.create 2048 in
+  Array.iter
+    (fun (s : Scanner.Parallel_campaign.shard) ->
+      Array.iter
+        (fun d ->
+          let name = Simnet.World.domain_name d in
+          Alcotest.(check bool) ("domain appears once: " ^ name) false (Hashtbl.mem seen name);
+          Hashtbl.replace seen name ())
+        s.Scanner.Parallel_campaign.members)
+    shards;
+  (* Connectivity: a shared-state key never spans two shards. *)
+  let key_shard = Hashtbl.create 2048 in
+  Array.iter
+    (fun (s : Scanner.Parallel_campaign.shard) ->
+      Array.iter
+        (fun d ->
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt key_shard k with
+              | Some owner ->
+                  Alcotest.(check int) ("key stays in one shard: " ^ k) owner
+                    s.Scanner.Parallel_campaign.shard_id
+              | None -> Hashtbl.replace key_shard k s.Scanner.Parallel_campaign.shard_id)
+            (Simnet.World.domain_shard_keys w d))
+        s.Scanner.Parallel_campaign.members)
+    shards
+
+let test_parallel_deterministic_in_jobs () =
+  (* The tentpole guarantee: worker count cannot change the result. Fresh
+     worlds per run — campaigns mutate server state. *)
+  let days = 2 in
+  let run jobs =
+    let w = Simnet.World.create ~config:parallel_world_config () in
+    Scanner.Parallel_campaign.run ~jobs w ~days ()
+  in
+  let one = run 1 in
+  let four = run 4 in
+  Alcotest.(check int) "day count" days one.Scanner.Daily_scan.n_days;
+  Alcotest.(check int) "all domains scanned"
+    (Array.length (Simnet.World.domains (Simnet.World.create ~config:parallel_world_config ())))
+    (Array.length one.Scanner.Daily_scan.series);
+  Alcotest.(check bool) "1-worker and 4-worker series identical" true
+    (one.Scanner.Daily_scan.series = four.Scanner.Daily_scan.series
+    && one.Scanner.Daily_scan.start_day = four.Scanner.Daily_scan.start_day)
+
 (* --- Cross-domain probe --------------------------------------------------------------------- *)
 
 let test_cross_probe () =
@@ -293,6 +439,16 @@ let () =
         [
           Alcotest.test_case "campaign" `Slow test_daily_scan;
           Alcotest.test_case "save/load" `Slow test_campaign_save_load;
+          Alcotest.test_case "load rejects bad metadata" `Quick test_load_rejects_bad_metadata;
+          Alcotest.test_case "load rejects out-of-range day" `Quick
+            test_load_rejects_out_of_range_day;
+        ] );
+      qsuite "campaign-properties" [ prop_campaign_roundtrip ];
+      ( "parallel",
+        [
+          Alcotest.test_case "shards partition the world" `Slow test_shards_partition;
+          Alcotest.test_case "deterministic in worker count" `Slow
+            test_parallel_deterministic_in_jobs;
         ] );
       ("cross-probe", [ Alcotest.test_case "cloudflare" `Slow test_cross_probe ]);
     ]

@@ -247,6 +247,60 @@ let test_cache_capacity_eviction () =
   Alcotest.(check bool) "newest kept" true
     (Tls.Session_cache.lookup cache ~now:1 (Tls.Session.id s3) <> None)
 
+let test_cache_queue_bounded () =
+  (* Regression: expiring lookups and removals used to leave their queue
+     entries behind forever, so a long-lived cache under churn grew an
+     unbounded FIFO even while the table stayed tiny. The queue must stay
+     within a small multiple of capacity (ghost entries are compacted). *)
+  let capacity = 16 in
+  let cache = Tls.Session_cache.create ~lifetime:10 ~capacity in
+  let mk i =
+    Tls.Session.make
+      ~id:(Printf.sprintf "%32d" i)
+      ~master_secret:(String.make 48 'x') ~cipher_suite:T.ECDHE_ECDSA_AES128_SHA256
+      ~established_at:0
+  in
+  for i = 0 to 999 do
+    let s = mk i in
+    let now = i * 100 in
+    Tls.Session_cache.store cache ~now s;
+    (* Expiring lookup: the entry is past its lifetime by the next tick. *)
+    ignore (Tls.Session_cache.lookup cache ~now:(now + 50) (Tls.Session.id s));
+    (* And half the time an explicit removal of an already-gone id. *)
+    if i mod 2 = 0 then Tls.Session_cache.remove cache (Tls.Session.id s)
+  done;
+  Alcotest.(check bool) "table bounded" true (Tls.Session_cache.size cache <= capacity);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue bounded (%d <= %d)" (Tls.Session_cache.queue_length cache)
+       (2 * capacity))
+    true
+    (Tls.Session_cache.queue_length cache <= 2 * capacity)
+
+let test_scheduled_stek_created_at () =
+  (* Regression: a [Scheduled] manager used to stamp the issuing STEK
+     with the query time instead of the start of its schedule interval,
+     so the same key appeared "fresh" on every connection. *)
+  let m =
+    Tls.Stek_manager.create
+      ~policy:(Tls.Stek_manager.Scheduled [ 100; 200 ])
+      ~secret:"sched-secret" ~now:0
+  in
+  let check ~now ~expect_created =
+    let stek = Tls.Stek_manager.issuing m ~now in
+    Alcotest.(check int)
+      (Printf.sprintf "created_at at now=%d" now)
+      expect_created (Tls.Stek.created_at stek)
+  in
+  check ~now:50 ~expect_created:0;
+  check ~now:150 ~expect_created:100;
+  check ~now:250 ~expect_created:200;
+  (* Same interval, later query: key material and stamp both stable. *)
+  let a = Tls.Stek_manager.issuing m ~now:150 in
+  let b = Tls.Stek_manager.issuing m ~now:199 in
+  Alcotest.(check string) "same key in one interval" (Tls.Stek.key_name a) (Tls.Stek.key_name b);
+  Alcotest.(check int) "same stamp in one interval" (Tls.Stek.created_at a)
+    (Tls.Stek.created_at b)
+
 (* --- Ticket resumption ------------------------------------------------------------ *)
 
 let ticket_offer (o : Tls.Engine.outcome) =
@@ -888,6 +942,7 @@ let () =
           Alcotest.test_case "no cache never resumes" `Quick test_no_cache_never_resumes;
           Alcotest.test_case "shared cache cross-domain" `Quick test_shared_session_cache;
           Alcotest.test_case "capacity eviction" `Quick test_cache_capacity_eviction;
+          Alcotest.test_case "queue stays bounded under churn" `Quick test_cache_queue_bounded;
         ] );
       ( "ticket-resumption",
         [
@@ -899,6 +954,7 @@ let () =
           Alcotest.test_case "static stek" `Quick test_static_stek_never_rotates;
           Alcotest.test_case "per-process stek restart" `Quick test_per_process_stek_restart;
           Alcotest.test_case "shared stek cross-domain" `Quick test_shared_stek_cross_domain;
+          Alcotest.test_case "scheduled stek created_at" `Quick test_scheduled_stek_created_at;
         ] );
       ( "kex-reuse",
         [
