@@ -10,6 +10,7 @@
      bench/main.exe micro           microbenchmarks only
      bench/main.exe ablations       section 8.2 what-ifs only
      bench/main.exe parallel        serial vs parallel campaign wall-clock
+     bench/main.exe faults          fault-injected campaign + loss funnel
 
    Environment:
      TLSHARM_DOMAINS  sampled world size (default 4000)
@@ -33,6 +34,11 @@ let study_config () =
     campaign_days = env_int "TLSHARM_DAYS" 63;
     jobs = env_int "TLSHARM_JOBS" 1;
     verbose = true;
+    (* The bench study stays fault-free so every table and figure is
+       byte-identical to the pre-fault harness; the dedicated "faults"
+       entry below exercises injection explicitly. *)
+    fault_profile = Faults.Profile.none;
+    retry = Faults.Retry.default;
   }
 
 let study = lazy (Tlsharm.Study.create ~config:(study_config ()) ())
@@ -290,6 +296,82 @@ let parallel_campaign_bench () =
       (if deterministic then "identical to" else "DIFFER FROM (BUG)")
       (Array.length serial.Scanner.Daily_scan.series)
 
+(* --- Fault-injection funnel ---------------------------------------------------------- *)
+
+(* A fault-enabled mini-campaign under the default profile: the same
+   world scanned clean and faulty, reporting the measurement-loss funnel
+   and the wall-clock overhead of the retry machinery. The fault layer
+   promises that observations which succeed under injection are
+   byte-identical to the clean run's; this entry checks that promise on
+   every scan day. *)
+let faults_bench () =
+  let n_domains = env_int "TLSHARM_DOMAINS" 2000 in
+  let days = env_int "TLSHARM_DAYS" 7 in
+  let fresh () =
+    Simnet.World.create
+      ~config:
+        {
+          Simnet.World.default_config with
+          Simnet.World.n_domains;
+          seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+        }
+      ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let clean, t_clean = time (fun () -> Scanner.Daily_scan.run (fresh ()) ~days ()) in
+  let world = fresh () in
+  let injector = Faults.Injector.create ~profile:Faults.Profile.default world in
+  let funnel = Faults.Funnel.create () in
+  let faulty, t_faulty =
+    time (fun () -> Scanner.Daily_scan.run ~injector ~retry:Faults.Retry.default ~funnel world ~days ())
+  in
+  (* Key day records by (domain, day): any day where both sweeps got
+     through the fault layer must match the clean run field-for-field. *)
+  let index (scan : Scanner.Daily_scan.t) =
+    let tbl = Hashtbl.create 4096 in
+    Array.iter
+      (fun (ds : Scanner.Daily_scan.domain_series) ->
+        Array.iter
+          (fun (r : Scanner.Daily_scan.day_record) ->
+            Hashtbl.replace tbl (ds.Scanner.Daily_scan.domain, r.Scanner.Daily_scan.day) r)
+          ds.Scanner.Daily_scan.days)
+      scan.Scanner.Daily_scan.series;
+    tbl
+  in
+  let clean_ix = index clean in
+  let mismatches = ref 0 and checked = ref 0 in
+  Hashtbl.iter
+    (fun key (r : Scanner.Daily_scan.day_record) ->
+      if r.Scanner.Daily_scan.default_ok && r.Scanner.Daily_scan.dhe_ok then
+        match Hashtbl.find_opt clean_ix key with
+        | Some c ->
+            incr checked;
+            if r <> c then incr mismatches
+        | None -> ())
+    (index faulty);
+  let totals = Faults.Funnel.totals funnel in
+  Analysis.Funnel_report.render
+    ~title:
+      (Printf.sprintf "Fault-injection funnel (profile: default, %d domains, %d days)" n_domains
+         days)
+    funnel
+  ^ Printf.sprintf
+      "
+clean campaign %.2f s, faulty campaign %.2f s (%.2fx); %d surviving observations compared against the clean run, %d mismatch%s%s.
+"
+      t_clean t_faulty
+      (t_faulty /. t_clean)
+      !checked !mismatches
+      (if !mismatches = 1 then "" else "es")
+      (if !mismatches = 0 then "" else " (BUG: fault layer perturbed surviving probes)")
+  ^ Printf.sprintf "lost %d of %d probes to injected faults.
+"
+      (Faults.Funnel.lost totals) totals.Faults.Funnel.t_probes
+
 (* --- Driver ------------------------------------------------------------------------- *)
 
 let ablations () = Tlsharm.Mitigations.report (Lazy.force study)
@@ -303,6 +385,7 @@ let named : (string * (unit -> string)) list =
       ("tls13", tls13);
       ("micro", microbenches);
       ("parallel", parallel_campaign_bench);
+      ("faults", faults_bench);
     ]
 
 let () =

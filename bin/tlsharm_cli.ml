@@ -7,7 +7,9 @@
      tlsharm experiment t1 f8 google    selected experiments
      tlsharm attack-demo                end-to-end stolen-secret decryptions
 
-   Every command accepts --domains/--days/--seed to size the world. *)
+   Every command accepts --domains/--days/--seed to size the world; the
+   scanning commands also accept --fault-profile/--retries/--probe-deadline
+   to exercise the fault-injection layer and its retry machinery. *)
 
 open Cmdliner
 
@@ -39,15 +41,68 @@ let jobs_arg =
            any N but follow a per-shard probe-seed schedule, so they differ from a serial (N=1) \
            run.")
 
+let fault_profile_arg =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "fault-profile" ] ~docv:"PROFILE"
+        ~doc:
+          "Fault-injection profile for the simulated network: $(b,none) (fault-free legacy \
+           behavior, the default), $(b,default) (\u{00a7}3-plausible transient faults and endpoint \
+           outage windows) or $(b,flaky) (hostile network for stress tests). Deterministic in \
+           the world and fault seeds.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Maximum connection attempts per probe (first attempt included). Only injected \
+           faults retry; default 3 when a fault profile is active.")
+
+let probe_deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "probe-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Per-probe retry deadline in virtual seconds on the probe's own backoff clock \
+           (default 60).")
+
+(* Resolve the three fault flags into a profile + retry policy, or a
+   cmdliner error on an unknown profile name. *)
+let fault_setup profile retries deadline =
+  match Faults.Profile.of_name profile with
+  | None ->
+      Error
+        (Printf.sprintf "unknown fault profile %S (available: %s)" profile
+           (String.concat " " Faults.Profile.names))
+  | Some p ->
+      let retry = Faults.Retry.default in
+      let retry =
+        match retries with
+        | Some n -> { retry with Faults.Retry.max_attempts = max 1 n }
+        | None -> retry
+      in
+      let retry =
+        match deadline with
+        | Some d -> { retry with Faults.Retry.deadline = max 1 d }
+        | None -> retry
+      in
+      Ok (p, retry)
+
 let world_config ~domains ~seed =
   { Simnet.World.default_config with Simnet.World.n_domains = domains; seed }
 
-let study_config ~domains ~days ~seed ~jobs ~verbose =
+let study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile ~retry =
   {
     Tlsharm.Study.world_config = world_config ~domains ~seed;
     campaign_days = days;
     jobs;
     verbose;
+    fault_profile;
+    retry;
   }
 
 (* --- world-info ------------------------------------------------------------------ *)
@@ -91,20 +146,28 @@ let world_info_cmd =
 
 (* --- scan ---------------------------------------------------------------------------- *)
 
-let scan domains seed mode out =
+let scan domains seed mode out fault_profile retries deadline =
+  match fault_setup fault_profile retries deadline with
+  | Error e -> `Error (false, e)
+  | Ok (profile, retry) ->
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let injector =
+    if profile.Faults.Profile.name = "none" then None
+    else Some (Faults.Injector.create ~profile world)
+  in
+  let funnel = Faults.Funnel.create () in
   let conns =
     match mode with
     | `Burst ->
-        let probe = Scanner.Probe.create ~seed:"cli-burst" world in
+        let probe = Scanner.Probe.create ?injector ~retry ~funnel ~seed:"cli-burst" world in
         Scanner.Burst_scan.run probe ~rounds:10 ~gap:30 ()
         |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
     | `Dhe ->
-        let probe = Scanner.Probe.dhe_only world ~seed:"cli-dhe" in
+        let probe = Scanner.Probe.dhe_only ?injector ~retry ~funnel world ~seed:"cli-dhe" in
         Scanner.Burst_scan.run probe ~rounds:1 ~gap:0 ()
         |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
     | `Single ->
-        let probe = Scanner.Probe.create ~seed:"cli-single" world in
+        let probe = Scanner.Probe.create ?injector ~retry ~funnel ~seed:"cli-single" world in
         Scanner.Burst_scan.run probe ~rounds:1 ~gap:0 ()
         |> List.concat_map (fun (r : Scanner.Burst_scan.domain_result) -> r.Scanner.Burst_scan.conns)
   in
@@ -115,6 +178,8 @@ let scan domains seed mode out =
   | None ->
       print_endline Scanner.Observation.csv_header;
       List.iter (fun c -> print_endline (Scanner.Observation.to_csv_row c)) conns);
+  if injector <> None then
+    print_string (Analysis.Funnel_report.render ~title:"Scan loss funnel" funnel);
   `Ok ()
 
 let scan_cmd =
@@ -129,12 +194,20 @@ let scan_cmd =
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Run one scan over the simulated Top Million; emit CSV observations.")
-    Term.(ret (const scan $ domains_arg $ seed_arg $ mode $ out))
+    Term.(
+      ret
+        (const scan $ domains_arg $ seed_arg $ mode $ out $ fault_profile_arg $ retries_arg
+       $ probe_deadline_arg))
 
 (* --- reproduce / experiment ----------------------------------------------------------- *)
 
-let run_experiments ids domains days seed jobs verbose =
-  let config = study_config ~domains ~days ~seed ~jobs ~verbose in
+let run_experiments ids domains days seed jobs verbose fault_profile retries deadline =
+  match fault_setup fault_profile retries deadline with
+  | Error e -> `Error (false, e)
+  | Ok (profile, retry) ->
+  let config =
+    study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile:profile ~retry
+  in
   let study = Tlsharm.Study.create ~config () in
   let named =
     Tlsharm.Experiments.by_name
@@ -170,28 +243,45 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run selected experiments of the study.")
     Term.(
-      ret (const run_experiments $ ids $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg))
+      ret
+        (const run_experiments $ ids $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg
+       $ fault_profile_arg $ retries_arg $ probe_deadline_arg))
 
 let reproduce_cmd =
   Cmd.v
     (Cmd.info "reproduce" ~doc:"Run the full study and print every table and figure.")
     Term.(
       ret
-        (const (run_experiments []) $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg))
+        (const (run_experiments []) $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg
+       $ fault_profile_arg $ retries_arg $ probe_deadline_arg))
 
 (* --- campaign / analyze -------------------------------------------------------------------- *)
 
-let campaign domains days seed jobs out =
+let campaign domains days seed jobs out fault_profile retries deadline =
+  match fault_setup fault_profile retries deadline with
+  | Error e -> `Error (false, e)
+  | Ok (profile, retry) ->
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
+  let injector =
+    if profile.Faults.Profile.name = "none" then None
+    else Some (Faults.Injector.create ~profile world)
+  in
+  let funnel = Faults.Funnel.create () in
   let t =
-    if jobs > 1 then Scanner.Parallel_campaign.run ~jobs world ~days ()
-    else Scanner.Daily_scan.run world ~days ()
+    if jobs > 1 then
+      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel world ~days ()
+    else Scanner.Daily_scan.run ?injector ~retry ~funnel world ~days ()
   in
   Scanner.Daily_scan.save t out;
   Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
     (Array.length t.Scanner.Daily_scan.series)
     out
     (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else "");
+  if injector <> None then
+    print_string
+      (Analysis.Funnel_report.render
+         ~title:(Printf.sprintf "Campaign loss funnel (fault profile: %s)" profile.Faults.Profile.name)
+         funnel);
   `Ok ()
 
 let campaign_cmd =
@@ -203,7 +293,10 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a daily longitudinal campaign and archive it as CSV.")
-    Term.(ret (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out))
+    Term.(
+      ret
+        (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out $ fault_profile_arg
+       $ retries_arg $ probe_deadline_arg))
 
 let analyze path =
   match Scanner.Daily_scan.load path with

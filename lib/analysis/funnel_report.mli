@@ -1,0 +1,5 @@
+(** §3-style rendering of the fault layer's measurement-loss funnel: a
+    per-day table (probes, attempts, retries, successes, per-cause
+    losses) plus totals. *)
+
+val render : ?title:string -> Faults.Funnel.t -> string

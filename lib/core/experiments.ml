@@ -585,6 +585,10 @@ let by_name =
     ("f6", fig6);
     ("f7", fig7);
     ("f8", fig8);
+    (* The live counterpart of the section-3 funnel: what the scanner
+       itself lost, per day and per cause, under the configured fault
+       profile (all-zero loss rows under the default [none] profile). *)
+    ("funnel", Study.funnel_report);
   ]
 
 let _ = (minute, hour)

@@ -54,4 +54,6 @@ val fig8 : Study.t -> string
 val all : Study.t -> string
 
 val by_name : (string * (Study.t -> string)) list
-(** [("t1", table1); ...; ("f8", fig8)] — the ids the CLI and bench use. *)
+(** [("t1", table1); ...; ("f8", fig8); ("funnel", ...)] — the ids the
+    CLI and bench use; ["funnel"] renders the scanner's own per-day
+    measurement-loss funnel under the configured fault profile. *)

@@ -23,10 +23,21 @@ type config = {
   campaign_days : int;
   jobs : int; (* campaign worker domains; > 1 uses Parallel_campaign *)
   verbose : bool;
+  fault_profile : Faults.Profile.t; (* [Profile.none] = legacy fault-free network *)
+  retry : Faults.Retry.policy;
 }
 
 let default_config =
-  { world_config = Simnet.World.default_config; campaign_days = 63; jobs = 1; verbose = false }
+  {
+    world_config = Simnet.World.default_config;
+    campaign_days = 63;
+    jobs = 1;
+    verbose = false;
+    (* [none] keeps every pre-fault experiment output byte-identical:
+       no injector is built, probes make exactly one attempt. *)
+    fault_profile = Faults.Profile.none;
+    retry = Faults.Retry.default;
+  }
 
 type t = {
   config : config;
@@ -42,7 +53,13 @@ type t = {
   mutable stek_groups_scan : Scanner.Burst_scan.domain_result list option;
   mutable dh_groups_scan : Scanner.Burst_scan.domain_result list option;
   mutable campaign : Scanner.Daily_scan.t option;
+  injector : Faults.Injector.t option; (* None when the profile is [none] *)
+  funnel : Faults.Funnel.t; (* shared loss telemetry across all experiments *)
 }
+
+let injector_of ~config world =
+  if config.fault_profile.Faults.Profile.name = "none" then None
+  else Some (Faults.Injector.create ~profile:config.fault_profile world)
 
 let create ?(config = default_config) () =
   let world = Simnet.World.create ~config:config.world_config () in
@@ -56,6 +73,8 @@ let create ?(config = default_config) () =
     stek_groups_scan = None;
     dh_groups_scan = None;
     campaign = None;
+    injector = injector_of ~config world;
+    funnel = Faults.Funnel.create ();
   }
 
 let of_world ?(config = default_config) world =
@@ -69,9 +88,27 @@ let of_world ?(config = default_config) world =
     stek_groups_scan = None;
     dh_groups_scan = None;
     campaign = None;
+    injector = injector_of ~config world;
+    funnel = Faults.Funnel.create ();
   }
 
 let world t = t.world
+let funnel t = t.funnel
+
+(* Every serial experiment probe shares the study's injector, retry
+   policy and funnel; with the default [none] profile these are all
+   no-ops and the probes behave exactly as before. *)
+let probe ?offer_suites ?offer_ticket t ~seed =
+  Scanner.Probe.create ?offer_suites ?offer_ticket ?injector:t.injector ~retry:t.config.retry
+    ~funnel:t.funnel ~seed t.world
+
+let dhe_probe_of t ~seed =
+  Scanner.Probe.dhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel t.world
+    ~seed
+
+let ecdhe_probe_of t ~seed =
+  Scanner.Probe.ecdhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel t.world
+    ~seed
 
 let log t fmt =
   if t.config.verbose then Format.eprintf (fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
@@ -85,11 +122,11 @@ let table1_bursts t =
   | Some r -> r
   | None ->
       log t "study: table 1 burst scans";
-      let dhe = Scanner.Probe.dhe_only t.world ~seed:"t1-dhe" in
+      let dhe = dhe_probe_of t ~seed:"t1-dhe" in
       let r_dhe = Scanner.Burst_scan.run dhe ~rounds:10 ~gap:30 () in
-      let ecdhe = Scanner.Probe.ecdhe_only t.world ~seed:"t1-ecdhe" in
+      let ecdhe = ecdhe_probe_of t ~seed:"t1-ecdhe" in
       let r_ecdhe = Scanner.Burst_scan.run ecdhe ~rounds:10 ~gap:30 () in
-      let default = Scanner.Probe.create ~seed:"t1-ticket" t.world in
+      let default = probe t ~seed:"t1-ticket" in
       let r_ticket = Scanner.Burst_scan.run default ~rounds:10 ~gap:30 () in
       let r = (r_dhe, r_ecdhe, r_ticket) in
       t.table1_bursts <- Some r;
@@ -101,7 +138,7 @@ let fig1_results t =
   | None ->
       ignore (table1_bursts t);
       log t "study: figure 1 session-ID lifetime walk";
-      let probe = Scanner.Probe.create ~offer_ticket:false ~seed:"fig1" t.world in
+      let probe = probe ~offer_ticket:false t ~seed:"fig1" in
       let r = Scanner.Resumption_scan.run probe ~mode:Scanner.Resumption_scan.Session_ids () in
       t.fig1_results <- Some r;
       r
@@ -112,7 +149,7 @@ let fig2_results t =
   | None ->
       ignore (fig1_results t);
       log t "study: figure 2 session-ticket lifetime walk";
-      let probe = Scanner.Probe.create ~seed:"fig2" t.world in
+      let probe = probe t ~seed:"fig2" in
       let r = Scanner.Resumption_scan.run probe ~mode:Scanner.Resumption_scan.Tickets () in
       t.fig2_results <- Some r;
       r
@@ -123,7 +160,10 @@ let cross_probe t =
   | None ->
       ignore (fig2_results t);
       log t "study: table 5 cross-domain session-cache probing";
-      let r = Scanner.Cross_probe.run t.world () in
+      let r =
+        Scanner.Cross_probe.run ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
+          t.world ()
+      in
       t.cross_probe <- Some r;
       r
 
@@ -133,7 +173,7 @@ let stek_groups_scan t =
   | None ->
       ignore (cross_probe t);
       log t "study: table 6 STEK-group scans";
-      let probe = Scanner.Probe.create ~seed:"stek-groups" t.world in
+      let probe = probe t ~seed:"stek-groups" in
       (* 10 connections over a six-hour window, then one more 30 minutes
          later, like the paper's two-phase grouping. *)
       let r = Scanner.Burst_scan.run probe ~rounds:10 ~gap:(40 * minute) () in
@@ -154,9 +194,9 @@ let dh_groups_scan t =
   | None ->
       ignore (stek_groups_scan t);
       log t "study: table 7 Diffie-Hellman group scans";
-      let dhe = Scanner.Probe.dhe_only t.world ~seed:"dh-groups" in
+      let dhe = dhe_probe_of t ~seed:"dh-groups" in
       let r_dhe = Scanner.Burst_scan.run dhe ~rounds:10 ~gap:(33 * minute) () in
-      let ecdhe = Scanner.Probe.ecdhe_only t.world ~seed:"ecdh-groups" in
+      let ecdhe = ecdhe_probe_of t ~seed:"ecdh-groups" in
       let r_ecdhe = Scanner.Burst_scan.run ecdhe ~rounds:10 ~gap:(33 * minute) () in
       let merged =
         List.map2
@@ -179,12 +219,13 @@ let campaign t =
       let r =
         if t.config.jobs > 1 then begin
           log t "study: daily campaign (%d days, %d jobs)" t.config.campaign_days t.config.jobs;
-          Scanner.Parallel_campaign.run ~jobs:t.config.jobs t.world ~days:t.config.campaign_days
-            ()
+          Scanner.Parallel_campaign.run ~jobs:t.config.jobs ?injector:t.injector
+            ~retry:t.config.retry ~funnel:t.funnel t.world ~days:t.config.campaign_days ()
         end
         else begin
           log t "study: daily campaign (%d days)" t.config.campaign_days;
-          Scanner.Daily_scan.run t.world ~days:t.config.campaign_days
+          Scanner.Daily_scan.run ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
+            t.world ~days:t.config.campaign_days
             ~progress:(fun day -> log t "study: campaign day %d" day)
             ()
         end
@@ -194,6 +235,14 @@ let campaign t =
 
 (* Run everything in order. *)
 let run_all t = ignore (campaign t)
+
+let funnel_report t =
+  run_all t;
+  Analysis.Funnel_report.render
+    ~title:
+      (Printf.sprintf "Section 3 funnel: probes, retries and losses (fault profile: %s)"
+         t.config.fault_profile.Faults.Profile.name)
+    t.funnel
 
 (* --- Derived analyses --------------------------------------------------------- *)
 

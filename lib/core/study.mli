@@ -13,6 +13,13 @@ type config = {
           count, but a different — per-shard — probe-seed schedule than
           the serial scan). Default 1. *)
   verbose : bool;  (** progress on stderr *)
+  fault_profile : Faults.Profile.t;
+      (** [Faults.Profile.none] (the default) disables injection
+          entirely — no injector is built, probes make exactly one
+          attempt, and every experiment output is byte-identical to the
+          pre-fault scanner. *)
+  retry : Faults.Retry.policy;
+      (** probe retry policy; only consulted when faults are injected *)
 }
 
 val default_config : config
@@ -23,8 +30,16 @@ val create : ?config:config -> unit -> t
 val of_world : ?config:config -> Simnet.World.t -> t
 val world : t -> Simnet.World.t
 
+val funnel : t -> Faults.Funnel.t
+(** The shared measurement-loss telemetry every experiment probe records
+    into. *)
+
 val run_all : t -> unit
 (** Force every experiment now (they otherwise run lazily on demand). *)
+
+val funnel_report : t -> string
+(** Forces all experiments, then renders the §3-style per-day loss
+    funnel. *)
 
 (** {2 Raw experiment results (memoized)} *)
 

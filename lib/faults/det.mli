@@ -1,0 +1,10 @@
+(** Deterministic, order-independent draws for the fault layer: pure
+    hashes of (seed, coordinates), so no decision depends on query
+    order, worker count, or whether faults are enabled at all. *)
+
+val u01 : string -> float
+(** Uniform in [0,1), derived from SHA-256 of the key. *)
+
+val int_in : string -> lo:int -> hi:int -> int
+(** Uniform integer in [lo, hi] inclusive. Raises [Invalid_argument] on
+    an empty range. *)

@@ -1,0 +1,84 @@
+(* The resilient connection path: injected faults, bounded retries, and
+   funnel accounting wrapped around a single underlying
+   [Simnet.World.connect] thunk.
+
+   The invariant everything here serves: *whether faults are enabled or
+   not, the world-side thunk runs exactly once per probe, at the probe
+   clock's unmodified time*. Three consequences follow:
+
+   - a faulted attempt short-circuits before the world is touched, so
+     the endpoint's DRBG streams (failure coin, slot pick, handshake
+     randomness) advance exactly as in a fault-free run;
+   - retry backoff accumulates on a local attempt clock ([elapsed]); the
+     shared scan clock never moves, so no other observation shifts in
+     time;
+   - when retries exhaust, we still make one "shadow" world call and
+     discard the result — the RNG draws a fault-free run would have
+     spent on this probe are spent here too, keeping every subsequent
+     observation byte-identical between fault-on and fault-off runs
+     (only genuinely-failed probes differ, which is the point).
+
+   World-level errors (No_such_domain / No_https / Connection_failed)
+   are the simulation's ground truth, not injected noise; retrying them
+   would mean a second world call and a desynced stream, so they are
+   classified and final. *)
+
+type t = {
+  injector : Injector.t option;
+  policy : Retry.policy;
+  funnel : Funnel.t;
+}
+
+let create ?injector ?(policy = Retry.default) ?funnel () =
+  { injector; policy; funnel = (match funnel with Some f -> f | None -> Funnel.create ()) }
+
+let funnel t = t.funnel
+let injector t = t.injector
+let policy t = t.policy
+
+let classify_error = function
+  | Simnet.World.No_such_domain -> Fault.No_such_domain
+  | Simnet.World.No_https -> Fault.No_https
+  | Simnet.World.Connection_failed -> Fault.Connection_refused
+
+(* Run one probe operation. [connect] performs the real world call;
+   returns [Ok (outcome, attempts)] or [Error (fault, attempts)]. *)
+let attempt t ~hostname ~now ~connect =
+  let day = now / Simnet.Clock.day in
+  let finish_real ~attempts ~slow =
+    match connect () with
+    | Ok outcome ->
+        Funnel.record_success t.funnel ~day ~attempts ~slow;
+        Ok (outcome, attempts)
+    | Error e ->
+        let f = classify_error e in
+        Funnel.record_failure t.funnel ~day ~attempts f;
+        Error (f, attempts)
+  in
+  match t.injector with
+  | None -> finish_real ~attempts:1 ~slow:false
+  | Some inj ->
+      let p = t.policy in
+      let jitter_key = Printf.sprintf "%s|%d" hostname now in
+      let rec go ~attempt ~elapsed ~last =
+        if attempt >= p.Retry.max_attempts || elapsed > p.Retry.deadline then begin
+          (* Exhausted: the shadow call keeps world-side streams where a
+             fault-free run would leave them; the probe never sees it. *)
+          ignore (connect ());
+          let f = Option.value last ~default:Fault.Connect_timeout in
+          Funnel.record_failure t.funnel ~day ~attempts:attempt f;
+          Error (f, attempt)
+        end
+        else
+          match Injector.decide inj ~hostname ~time:(now + elapsed) ~attempt with
+          | Injector.Pass -> finish_real ~attempts:(attempt + 1) ~slow:false
+          | Injector.Slow lat when elapsed + lat <= p.Retry.deadline ->
+              finish_real ~attempts:(attempt + 1) ~slow:true
+          | Injector.Slow _ -> next ~attempt ~elapsed Fault.Slow_handshake
+          | Injector.Fault f -> next ~attempt ~elapsed f
+      and next ~attempt ~elapsed f =
+        go ~attempt:(attempt + 1)
+          ~elapsed:(elapsed + Retry.backoff t.policy ~key:jitter_key ~attempt)
+          ~last:(Some f)
+      in
+      go ~attempt:0 ~elapsed:0 ~last:None

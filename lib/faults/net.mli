@@ -1,0 +1,29 @@
+(** The resilient connection path: fault injection + bounded retries +
+    funnel accounting around a single world connect. The implementation
+    header documents the stream-isolation invariant (exactly one real
+    world call per probe, at unmodified virtual time). *)
+
+type t
+
+val create :
+  ?injector:Injector.t -> ?policy:Retry.policy -> ?funnel:Funnel.t -> unit -> t
+(** No [injector] means no injected faults and no retries — the legacy
+    single-attempt path, byte-identical to pre-fault behavior. [funnel]
+    lets serial runs share one funnel across probes; defaults to a fresh
+    private one. *)
+
+val funnel : t -> Funnel.t
+val injector : t -> Injector.t option
+val policy : t -> Retry.policy
+
+val classify_error : Simnet.World.connect_error -> Fault.t
+
+val attempt :
+  t ->
+  hostname:string ->
+  now:int ->
+  connect:(unit -> ('a, Simnet.World.connect_error) result) ->
+  ('a * int, Fault.t * int) result
+(** Run one probe operation; the [int] is the attempt count. [connect]
+    is called exactly once (possibly as a discarded shadow call on
+    retry exhaustion). *)

@@ -1,0 +1,35 @@
+(** Fault profiles: per-operator rates for the injected failure
+    taxonomy. [none] injects nothing; [default] models §3-plausible
+    loss (giants steadier than the tail); [flaky] stress-tests the
+    retry machinery. *)
+
+type rates = {
+  timeout_p : float;
+  reset_p : float;
+  alert_p : float;
+  truncated_p : float;
+  slow_p : float;
+  slow_latency : int * int;  (** seconds, min/max *)
+  outage_p : float;  (** per 6-hour epoch *)
+  outage_duration : int * int;  (** seconds, min/max *)
+}
+
+type t = {
+  name : string;
+  default_rates : rates;
+  per_operator : (string * rates) list;
+}
+
+val zero_rates : rates
+val none : t
+val default : t
+val flaky : t
+
+val names : string list
+(** Names accepted by {!of_name}, for CLI docs. *)
+
+val of_name : string -> t option
+val rates_for : t -> operator:string -> rates
+
+val transient_sum : rates -> float
+(** Total per-attempt probability of any transient (non-outage) fault. *)

@@ -1,0 +1,35 @@
+(* Retry policy: how hard a probe tries before writing a loss into the
+   funnel. Backoff is exponential with deterministic jitter, and all of
+   it is accounted on the probe's private attempt clock — the shared
+   scan clock never moves, so retries cannot shift the virtual time any
+   other observation is made at. *)
+
+type policy = {
+  max_attempts : int; (* total attempts, first included *)
+  base_backoff : int; (* seconds before the first retry *)
+  multiplier : float; (* backoff growth per retry *)
+  max_backoff : int; (* backoff cap, seconds *)
+  deadline : int; (* give up once cumulative delay exceeds this *)
+}
+
+(* Three attempts with 2s/4s backoffs inside a one-minute deadline: the
+   shape of a real probing fleet's per-target budget (cf. ZMap-driven
+   scans, which bound per-host retransmissions the same way). *)
+let default =
+  { max_attempts = 3; base_backoff = 2; multiplier = 2.0; max_backoff = 30; deadline = 60 }
+
+let no_retry =
+  { max_attempts = 1; base_backoff = 0; multiplier = 1.0; max_backoff = 0; deadline = 30 }
+
+(* Jitter in [0.5, 1.5): spreads a real fleet's retries; here it only
+   needs to be deterministic, keyed by the probe's coordinates so two
+   probes retrying the same host at different times decorrelate. *)
+let backoff policy ~key ~attempt =
+  if attempt < 0 then invalid_arg "Retry.backoff: negative attempt";
+  let nominal =
+    min
+      (float_of_int policy.max_backoff)
+      (float_of_int policy.base_backoff *. (policy.multiplier ** float_of_int attempt))
+  in
+  let jitter = 0.5 +. Det.u01 (Printf.sprintf "backoff|%s|%d" key attempt) in
+  max 1 (int_of_float (nominal *. jitter))

@@ -19,8 +19,8 @@ let pick_neighbors rng ~self ~limit candidates =
   Crypto.Drbg.shuffle rng arr;
   Array.to_list (Array.sub arr 0 (min limit (Array.length arr)))
 
-let run world ?(per_side = 5) ?(domains = None) () =
-  let probe = Probe.create ~seed:"cross-probe" world in
+let run ?injector ?retry ?funnel world ?(per_side = 5) ?(domains = None) () =
+  let probe = Probe.create ?injector ?retry ?funnel ~seed:"cross-probe" world in
   let rng = Crypto.Drbg.create ~seed:"cross-probe-neighbors" in
   let clock = Simnet.World.clock world in
   let targets =

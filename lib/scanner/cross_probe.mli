@@ -12,4 +12,11 @@ type result = {
 }
 
 val run :
-  Simnet.World.t -> ?per_side:int -> ?domains:Simnet.World.domain list option -> unit -> result
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
+  Simnet.World.t ->
+  ?per_side:int ->
+  ?domains:Simnet.World.domain list option ->
+  unit ->
+  result

@@ -288,11 +288,14 @@ let run_subset ~clock ~default_probe ~dhe_probe ~(domains : Simnet.World.domain 
       })
     domains
 
-let run world ~days ?progress () =
+let run ?injector ?retry ?funnel world ~days ?progress () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
-  let default_probe = Probe.create ~seed:"daily-default" world in
-  let dhe_probe = Probe.dhe_only world ~seed:"daily-dhe" in
+  (* Both probes record into the caller's funnel (serial run, single
+     owner), so the campaign's §3-style loss table covers the default
+     and the DHE sweeps together. *)
+  let default_probe = Probe.create ?injector ?retry ?funnel ~seed:"daily-default" world in
+  let dhe_probe = Probe.dhe_only ?injector ?retry ?funnel world ~seed:"daily-dhe" in
   let domains = Simnet.World.domains world in
   let series = run_subset ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () in
   { start_day = start / Simnet.Clock.day; n_days = days; series }

@@ -26,9 +26,19 @@ type domain_series = {
 
 type t = { start_day : int; n_days : int; series : domain_series array }
 
-val run : Simnet.World.t -> days:int -> ?progress:(int -> unit) -> unit -> t
+val run :
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
+  Simnet.World.t ->
+  days:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  t
 (** Runs the campaign, advancing the world's clock day by day; leaves the
-    clock at the campaign's end. *)
+    clock at the campaign's end. [injector]/[retry] route every probe
+    through the fault layer; [funnel] receives the per-day loss
+    telemetry of both sweeps. *)
 
 val run_subset :
   clock:Simnet.Clock.t ->

@@ -30,9 +30,11 @@ type conn = {
   ticket_hint : int option; (* advertised lifetime hint *)
   dhe_value : string option; (* hex server DHE public value *)
   ecdhe_value : string option; (* hex server ECDHE public point *)
+  failure : Faults.Fault.t option; (* why the connection failed; None when ok *)
+  attempts : int; (* connection attempts this observation cost (>= 1) *)
 }
 
-let failed_conn ~time ~domain =
+let failed_conn ?(failure = Faults.Fault.Unknown) ?(attempts = 1) ~time ~domain () =
   {
     time;
     domain;
@@ -46,12 +48,19 @@ let failed_conn ~time ~domain =
     ticket_hint = None;
     dhe_value = None;
     ecdhe_value = None;
+    failure = Some failure;
+    attempts;
   }
 
 (* --- CSV ---------------------------------------------------------------- *)
 
-let csv_header =
+(* Pre-fault-classification archives end at ecdhe_value; both header
+   widths load ({!of_csv_row} maps a missing failure column on a failed
+   row to [Unknown]). *)
+let csv_header_legacy =
   "time,domain,ok,resumed,cipher,session_id_set,session_id,trusted,stek_id,ticket_hint,dhe_value,ecdhe_value"
+
+let csv_header = csv_header_legacy ^ ",failure,attempts"
 
 let opt_str = function None -> "" | Some s -> s
 let opt_int = function None -> "" | Some i -> string_of_int i
@@ -73,11 +82,13 @@ let to_csv_row c =
       opt_int c.ticket_hint;
       opt_str c.dhe_value;
       opt_str c.ecdhe_value;
+      (match c.failure with None -> "" | Some f -> Faults.Fault.to_string f);
+      string_of_int c.attempts;
     ]
 
 let of_csv_row row =
-  match String.split_on_char ',' row with
-  | [ time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe ] ->
+  let parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
+      ~failure ~attempts =
       let ( let* ) = Option.bind in
       let* time = int_of_string_opt time in
       let* ok = bool_of_string_opt ok in
@@ -89,6 +100,15 @@ let of_csv_row row =
         else Option.bind (int_of_string_opt cipher) Tls.Types.suite_of_int
       in
       let blank_opt s = if s = "" then None else Some s in
+      let* failure =
+        match failure with
+        | None -> Some (if ok then None else Some Faults.Fault.Unknown)
+        | Some "" -> Some None
+        | Some s -> Option.map Option.some (Faults.Fault.of_string s)
+      in
+      let* attempts =
+        match attempts with None -> Some 1 | Some s -> int_of_string_opt s
+      in
       Some
         {
           time;
@@ -103,7 +123,21 @@ let of_csv_row row =
           ticket_hint = (if hint = "" then None else int_of_string_opt hint);
           dhe_value = blank_opt dhe;
           ecdhe_value = blank_opt ecdhe;
+          failure;
+          attempts;
         }
+  in
+  match String.split_on_char ',' row with
+  | [ time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe ] ->
+      (* Legacy 12-column archive row. *)
+      parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
+        ~failure:None ~attempts:None
+  | [
+      time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe;
+      failure; attempts;
+    ] ->
+      parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
+        ~failure:(Some failure) ~attempts:(Some attempts)
   | _ -> None
 
 let write_csv path conns =
@@ -127,7 +161,10 @@ let read_csv path =
       let rec go acc first =
         match input_line ic with
         | exception End_of_file -> Ok (List.rev acc)
-        | line when first && String.equal line csv_header -> go acc false
+        | line
+          when first && (String.equal line csv_header || String.equal line csv_header_legacy)
+          ->
+            go acc false
         | line -> (
             match of_csv_row line with
             | Some c -> go (c :: acc) false

@@ -21,11 +21,22 @@ type conn = {
   ticket_hint : int option;
   dhe_value : string option;  (** hex server DHE public value *)
   ecdhe_value : string option;
+  failure : Faults.Fault.t option;
+      (** why the connection failed; [None] when [ok] *)
+  attempts : int;  (** connection attempts this observation cost (>= 1) *)
 }
 
-val failed_conn : time:int -> domain:string -> conn
+val failed_conn :
+  ?failure:Faults.Fault.t -> ?attempts:int -> time:int -> domain:string -> unit -> conn
+(** [failure] defaults to [Unknown], [attempts] to 1. *)
 
 val csv_header : string
+
+val csv_header_legacy : string
+(** Pre-fault-classification header (no failure/attempts columns); both
+    widths load, a missing failure column on a failed row maps to
+    [Unknown]. *)
+
 val to_csv_row : conn -> string
 val of_csv_row : string -> conn option
 val write_csv : string -> conn list -> unit

@@ -108,7 +108,7 @@ let shards ?(target = 256) world =
          { shard_id; members = Array.of_list (List.map (fun i -> domains.(i)) idxs) })
   |> Array.of_list
 
-let run ?jobs ?progress world ~days () =
+let run ?jobs ?progress ?injector ?retry ?funnel world ~days () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
   let shard_arr = shards world in
@@ -120,6 +120,13 @@ let run ?jobs ?progress world ~days () =
     max 1 (min requested n_shards)
   in
   let results = Array.make n_shards [||] in
+  (* Loss telemetry: one private funnel per shard (written only by the
+     worker that owns the shard), absorbed into the caller's funnel
+     after the join. The injector itself is shared — its decisions are
+     pure hashes of (seed, endpoint, time, attempt), so concurrent
+     queries from different workers are race-free and their answers
+     independent of scheduling. *)
+  let funnels = Array.init n_shards (fun _ -> Faults.Funnel.create ()) in
   let run_shard (s : shard) =
     (* Private clock and probes: the shard replays the standard daily
        sweep schedule without touching the world clock or any state
@@ -127,10 +134,12 @@ let run ?jobs ?progress world ~days () =
        id, so they are stable for a fixed world regardless of [jobs]. *)
     let clock = Simnet.Clock.create ~start () in
     let default_probe =
-      Probe.create ~clock ~seed:(Printf.sprintf "daily-default:shard:%d" s.shard_id) world
+      Probe.create ~clock ?injector ?retry ~funnel:funnels.(s.shard_id)
+        ~seed:(Printf.sprintf "daily-default:shard:%d" s.shard_id) world
     in
     let dhe_probe =
-      Probe.dhe_only ~clock world ~seed:(Printf.sprintf "daily-dhe:shard:%d" s.shard_id)
+      Probe.dhe_only ~clock ?injector ?retry ~funnel:funnels.(s.shard_id) world
+        ~seed:(Printf.sprintf "daily-dhe:shard:%d" s.shard_id)
     in
     let progress =
       Option.map (fun p day -> p ~shard:s.shard_id ~day) progress
@@ -159,6 +168,9 @@ let run ?jobs ?progress world ~days () =
   let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join helpers;
+  (* Funnel merge in shard order: commutative sums, but a fixed order
+     keeps even intermediate states reproducible. *)
+  Option.iter (fun f -> Array.iter (Faults.Funnel.absorb f) funnels) funnel;
   (* The serial campaign leaves the world clock at the campaign's end;
      keep that contract so downstream experiments see the same time. *)
   Simnet.Clock.set clock (start + (days * Simnet.Clock.day));

@@ -26,6 +26,9 @@ val shards : ?target:int -> Simnet.World.t -> shard array
 val run :
   ?jobs:int ->
   ?progress:(shard:int -> day:int -> unit) ->
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
   Simnet.World.t ->
   days:int ->
   unit ->
@@ -34,4 +37,10 @@ val run :
     [Domain.recommended_domain_count ()], clamped to the shard count;
     [jobs <= 1] runs sequentially on the calling domain). Leaves the
     world clock at the campaign's end, like the serial runner. [progress]
-    is called from worker domains — keep it reentrant. *)
+    is called from worker domains — keep it reentrant.
+
+    [injector] is shared across shards (its decisions are pure hashes,
+    so sharing is race-free and worker-count invariant); each shard's
+    probes record into a shard-private funnel, absorbed into [funnel]
+    after the join in shard order — sums only, so totals are identical
+    for any [jobs]. *)

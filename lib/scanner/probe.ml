@@ -16,10 +16,13 @@ type t = {
   clock : Simnet.Clock.t;
       (* the clock this probe reads time from: the world clock for serial
          sweeps, a shard-private clock in a parallel campaign *)
+  net : Faults.Net.t;
+      (* fault injection + retry policy + funnel; without an injector
+         this is the legacy single-attempt path *)
 }
 
-let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ?clock ~seed world
-    =
+let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ?clock ?injector
+    ?retry ?funnel ~seed world =
   let env = Simnet.World.env world in
   let client =
     Tls.Client.create
@@ -36,30 +39,37 @@ let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) 
       ~rng:(Crypto.Drbg.create ~seed:("probe:" ^ seed)) ()
   in
   let clock = Option.value clock ~default:(Simnet.World.clock world) in
-  { world; client; trust_cache = Hashtbl.create 256; env; clock }
+  let net = Faults.Net.create ?injector ?policy:retry ?funnel () in
+  { world; client; trust_cache = Hashtbl.create 256; env; clock; net }
 
-let dhe_only ?clock world ~seed =
-  create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock ~seed
-    world
+let funnel t = Faults.Net.funnel t.net
 
-let ecdhe_only ?clock world ~seed =
-  create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock ~seed
-    world
+let dhe_only ?clock ?injector ?retry ?funnel world ~seed =
+  create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock
+    ?injector ?retry ?funnel ~seed world
+
+let ecdhe_only ?clock ?injector ?retry ?funnel world ~seed =
+  create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock
+    ?injector ?retry ?funnel ~seed world
 
 let evaluate_trust t ~domain ~chain ~now =
   match Hashtbl.find_opt t.trust_cache domain with
   | Some v -> v
-  | None ->
-      let v =
-        match chain with
-        | [] -> false
-        | _ ->
+  | None -> (
+      (* Only a full-chain evaluation may populate the cache: a domain
+         first seen through a resumed or failed connection carries no
+         chain, and caching [false] for it would brand the domain
+         untrusted for the rest of the study. *)
+      match chain with
+      | [] -> false
+      | _ ->
+          let v =
             Result.is_ok
               (Tls.Cert.validate ~curve:t.env.Tls.Config.pki_curve
                  ~store:(Simnet.World.root_store t.world) ~now ~hostname:domain chain)
-      in
-      Hashtbl.replace t.trust_cache domain v;
-      v
+          in
+          Hashtbl.replace t.trust_cache domain v;
+          v)
 
 (* Classify the server's key-exchange value by the negotiated suite. *)
 let kex_fields outcome =
@@ -72,7 +82,7 @@ let kex_fields outcome =
       | Tls.Types.Static_ecdh -> (None, None))
   | _ -> (None, None)
 
-let observe t ~domain (outcome : Tls.Engine.outcome) ~now =
+let observe ?(attempts = 1) t ~domain (outcome : Tls.Engine.outcome) ~now =
   let dhe_value, ecdhe_value = kex_fields outcome in
   let resumed =
     match outcome.Tls.Engine.resumed with
@@ -100,16 +110,27 @@ let observe t ~domain (outcome : Tls.Engine.outcome) ~now =
     ticket_hint = Option.map fst outcome.Tls.Engine.new_ticket;
     dhe_value;
     ecdhe_value;
+    failure = (if outcome.Tls.Engine.ok then None else Some Faults.Fault.Unknown);
+    attempts;
   }
 
-(* Connect once; [offer] controls resumption. Returns the observation and
-   the raw outcome (which carries the session/ticket needed to build the
-   next offer). *)
+(* One probe operation; [offer] controls resumption. Routed through the
+   fault layer: injected faults retry under the probe's policy (backoff
+   on a local attempt clock — the scan clock never moves), while
+   world-level errors are ground truth and final, classified into the
+   observation instead of collapsed into one anonymous failure. Returns
+   the observation and the raw outcome (which carries the session/ticket
+   needed to build the next offer). *)
 let connect ?(offer = Tls.Client.Fresh) t ~domain =
   let now = Simnet.Clock.now t.clock in
-  match Simnet.World.connect ~clock:t.clock t.world ~client:t.client ~hostname:domain ~offer with
-  | Error _ -> (Observation.failed_conn ~time:now ~domain, None)
-  | Ok outcome -> (observe t ~domain outcome ~now, Some outcome)
+  let result =
+    Faults.Net.attempt t.net ~hostname:domain ~now ~connect:(fun () ->
+        Simnet.World.connect ~clock:t.clock t.world ~client:t.client ~hostname:domain ~offer)
+  in
+  match result with
+  | Ok (outcome, attempts) -> (observe ~attempts t ~domain outcome ~now, Some outcome)
+  | Error (failure, attempts) ->
+      (Observation.failed_conn ~failure ~attempts ~time:now ~domain (), None)
 
 (* The client-side state needed to attempt a resumption later. *)
 type resumable = {

@@ -9,29 +9,57 @@ type t = {
   trust_cache : (string, bool) Hashtbl.t;
   env : Tls.Config.env;
   clock : Simnet.Clock.t;
+  net : Faults.Net.t;
 }
 
 val create :
   ?offer_suites:Tls.Types.cipher_suite list ->
   ?offer_ticket:bool ->
   ?clock:Simnet.Clock.t ->
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
   seed:string ->
   Simnet.World.t ->
   t
 (** [clock] defaults to the world clock; a parallel campaign gives each
-    shard's probes a private clock instead. *)
+    shard's probes a private clock instead. Without [injector] the probe
+    makes exactly one attempt per connection (the legacy path);
+    [funnel] shares loss telemetry across probes of one serial run. *)
 
-val dhe_only : ?clock:Simnet.Clock.t -> Simnet.World.t -> seed:string -> t
-val ecdhe_only : ?clock:Simnet.Clock.t -> Simnet.World.t -> seed:string -> t
+val funnel : t -> Faults.Funnel.t
+
+val dhe_only :
+  ?clock:Simnet.Clock.t ->
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
+  Simnet.World.t ->
+  seed:string ->
+  t
+
+val ecdhe_only :
+  ?clock:Simnet.Clock.t ->
+  ?injector:Faults.Injector.t ->
+  ?retry:Faults.Retry.policy ->
+  ?funnel:Faults.Funnel.t ->
+  Simnet.World.t ->
+  seed:string ->
+  t
 
 val evaluate_trust : t -> domain:string -> chain:Tls.Cert.t list -> now:int -> bool
-(** Chain validation, cached per domain. *)
+(** Chain validation, cached per domain. Only a full-chain evaluation
+    populates the cache; an empty chain (failed or resumed connection)
+    evaluates untrusted without poisoning the cache. *)
 
-val observe : t -> domain:string -> Tls.Engine.outcome -> now:int -> Observation.conn
+val observe :
+  ?attempts:int -> t -> domain:string -> Tls.Engine.outcome -> now:int -> Observation.conn
 
 val connect :
   ?offer:Tls.Client.offer -> t -> domain:string -> Observation.conn * Tls.Engine.outcome option
-(** One connection at the probe clock's current virtual time. *)
+(** One probe operation at the probe clock's current virtual time:
+    injected faults retry under the probe's policy, world-level errors
+    are final and classified into the observation. *)
 
 (** {2 Resumption state} *)
 

@@ -909,6 +909,17 @@ let connect ?clock t ~client ~hostname ~offer =
             | Some server -> Ok (Tls.Engine.connect client server ~now ~hostname ~offer)
           end)
 
+(* Endpoint identity for the fault layer: which terminator a hostname's
+   connections land on, and who operates it (fault profiles are
+   per-operator). Covers web domains and modeled service hosts; [None]
+   for unknown names and HTTPS-less domains, which never reach an
+   endpoint in [connect] either. *)
+let endpoint_info t hostname =
+  let of_ep ep = (ep.ep_id, ep.ep_operator) in
+  match Hashtbl.find_opt t.by_name hostname with
+  | Some d -> Option.map of_ep d.d_endpoint
+  | None -> Option.map of_ep (Hashtbl.find_opt t.service_hosts hostname)
+
 (* Neighbour queries used by the cross-domain probing experiments. *)
 let domains_in_asn t asn = Option.value ~default:[] (Hashtbl.find_opt t.by_asn asn)
 let domains_on_ip t ip = Option.value ~default:[] (Hashtbl.find_opt t.by_ip ip)

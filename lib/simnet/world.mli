@@ -95,6 +95,12 @@ val connect :
     campaign shard advances its own clock while only ever connecting to
     the endpoints of its shard. *)
 
+val endpoint_info : t -> string -> (int * string) option
+(** [(endpoint id, operator)] serving a hostname (web domain or modeled
+    service host), if any — the coordinates the fault-injection layer
+    keys outage windows and per-operator fault rates on. [None] exactly
+    when [connect] could never reach an endpoint for this name. *)
+
 val mx_host : t -> domain -> string option
 (** The TLS mail front-end a domain's MX points at, when its provider is
     modeled (Google); connecting to it exercises the same STEK as the

@@ -41,17 +41,23 @@ let split_finished msgs =
   in
   go [] msgs
 
+(* A Finished with no keys to seal it under is a broken handshake state,
+   not a programming error to crash on: an injected mid-handshake fault
+   can legitimately strand a flight there, and a 63-day sweep must see a
+   classified failure, not an exception. *)
 let encode_flight ?tx msgs =
   let plain, fin = split_finished msgs in
   let records = if plain = [] then [] else [ handshake_record plain ] in
   match (fin, tx) with
-  | [], _ -> records
-  | fin, Some tx -> records @ [ ccs_record (); Record.seal tx (handshake_record fin) ]
-  | _ :: _, None -> invalid_arg "Connection.encode_flight: Finished without keys"
+  | [], _ -> Ok records
+  | fin, Some tx -> Ok (records @ [ ccs_record (); Record.seal tx (handshake_record fin) ])
+  | _ :: _, None -> Error "connection: Finished flight without derived keys"
 
 (* Decode a received flight: plaintext handshake records plus, after a
    CCS, encrypted ones. [rx] may be lazy because the keys only exist once
-   the plaintext part has been processed (full handshake, server side). *)
+   the plaintext part has been processed (full handshake, server side);
+   forcing it yields [Error] — not an exception — when an encrypted
+   record arrives before any keys were derived. *)
 let decode_flight ?rx records =
   let buf = Buffer.create 256 in
   let rec go seen_ccs = function
@@ -64,11 +70,14 @@ let decode_flight ?rx records =
               match rx with
               | None -> Error "encrypted record without keys"
               | Some rx -> (
-                  match Record.open_ (Lazy.force rx) r with
-                  | Error a -> Error (Format.asprintf "record: %a" Types.pp_alert a)
-                  | Ok plain ->
-                      Buffer.add_string buf (Record.payload plain);
-                      go seen_ccs rest)
+                  match Lazy.force rx with
+                  | Error e -> Error e
+                  | Ok rx -> (
+                      match Record.open_ rx r with
+                      | Error a -> Error (Format.asprintf "record: %a" Types.pp_alert a)
+                      | Ok plain ->
+                          Buffer.add_string buf (Record.payload plain);
+                          go seen_ccs rest))
             end
             else begin
               Buffer.add_string buf (Record.payload r);
@@ -100,9 +109,10 @@ let establish client server ~now ~hostname ~offer =
     records
   in
   let alert a = Format.asprintf "server alert: %a" Types.pp_alert a in
+  let send direction ?tx msgs = Result.map (transmit direction) (encode_flight ?tx msgs) in
   (* Flight 1: ClientHello. *)
   let ch_msg, state = Client.hello client ~now ~hostname ~offer in
-  let flight1 = transmit Engine.Client_to_server (encode_flight [ ch_msg ]) in
+  let* flight1 = send Engine.Client_to_server [ ch_msg ] in
   let* msgs1 = decode_flight flight1 in
   let* ch_msg =
     match msgs1 with [ (Msg.Client_hello _ as m) ] -> Ok m | _ -> Error "bad first flight"
@@ -123,17 +133,15 @@ let establish client server ~now ~hostname ~offer =
       finish ~master:(Session.master_secret session) ~server_random @@ fun keys ->
       let server_tx = Record.cipher_state keys.Record.server_write in
       let client_rx = Record.cipher_state keys.Record.server_write in
-      let flight2 = transmit Engine.Server_to_client (encode_flight ~tx:server_tx flight) in
-      let* msgs2 = decode_flight ~rx:(lazy client_rx) flight2 in
+      let* flight2 = send Engine.Server_to_client ~tx:server_tx flight in
+      let* msgs2 = decode_flight ~rx:(lazy (Ok client_rx)) flight2 in
       let* result = Client.handle_server_flight state msgs2 in
       (match result with
       | Client.Abbreviated { client_finished; session; new_ticket; session_id = _ } ->
           let client_tx = Record.cipher_state keys.Record.client_write in
           let server_rx = Record.cipher_state keys.Record.client_write in
-          let flight3 =
-            transmit Engine.Client_to_server (encode_flight ~tx:client_tx [ client_finished ])
-          in
-          let* msgs3 = decode_flight ~rx:(lazy server_rx) flight3 in
+          let* flight3 = send Engine.Client_to_server ~tx:client_tx [ client_finished ] in
+          let* msgs3 = decode_flight ~rx:(lazy (Ok server_rx)) flight3 in
           let* fin = match msgs3 with [ m ] -> Ok m | _ -> Error "bad finished flight" in
           let* _ = Result.map_error alert (Server.handle_client_finished resuming fin) in
           Ok
@@ -151,7 +159,7 @@ let establish client server ~now ~hostname ~offer =
   | Server.Negotiating (flight, pending) ->
       (* Full handshake: server's first flight is all plaintext. *)
       let _, server_random = randoms_of flight in
-      let flight2 = transmit Engine.Server_to_client (encode_flight flight) in
+      let* flight2 = send Engine.Server_to_client flight in
       let* msgs2 = decode_flight flight2 in
       let* result = Client.handle_server_flight state msgs2 in
       (match result with
@@ -160,15 +168,15 @@ let establish client server ~now ~hostname ~offer =
           let master = Client.continuation_master continuation in
           finish ~master ~server_random @@ fun keys ->
           let client_tx = Record.cipher_state keys.Record.client_write in
-          let flight3 = transmit Engine.Client_to_server (encode_flight ~tx:client_tx to_send) in
+          let* flight3 = send Engine.Client_to_server ~tx:client_tx to_send in
           (* The server must learn the master from the plaintext CKE
              before it can open the encrypted Finished record. *)
           let server_keys = ref None in
           let rx =
             lazy
               (match !server_keys with
-              | Some ks -> ks
-              | None -> failwith "connection: keys not derived yet")
+              | Some ks -> Ok ks
+              | None -> Error "connection: encrypted record before key derivation")
           in
           let* msgs3 =
             (* Peek the CKE from the plaintext part to derive keys. *)
@@ -197,9 +205,10 @@ let establish client server ~now ~hostname ~offer =
           in
           let server_tx = Record.cipher_state keys.Record.server_write in
           let client_rx = Record.cipher_state keys.Record.server_write in
-          let flight4 = transmit Engine.Server_to_client (encode_flight ~tx:server_tx closing) in
-          let* msgs4 = decode_flight ~rx:(lazy client_rx) flight4 in
+          let* flight4 = send Engine.Server_to_client ~tx:server_tx closing in
+          let* msgs4 = decode_flight ~rx:(lazy (Ok client_rx)) flight4 in
           let* session, new_ticket = Client.finish_full continuation ~now msgs4 in
+          let* server_rx = Lazy.force rx in
           Ok
             {
               session;
@@ -208,7 +217,7 @@ let establish client server ~now ~hostname ~offer =
               client_tx;
               client_rx;
               server_tx;
-              server_rx = Lazy.force rx;
+              server_rx;
               wire_log = List.rev !log;
             })
 

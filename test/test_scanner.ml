@@ -28,6 +28,8 @@ let sample_conn =
     ticket_hint = Some 300;
     dhe_value = None;
     ecdhe_value = Some "0011";
+    failure = None;
+    attempts = 1;
   }
 
 let test_csv_roundtrip () =
@@ -42,7 +44,7 @@ let test_csv_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let conns =
-        [ sample_conn; Scanner.Observation.failed_conn ~time:1 ~domain:"down.example" ]
+        [ sample_conn; Scanner.Observation.failed_conn ~time:1 ~domain:"down.example" () ]
       in
       Scanner.Observation.write_csv path conns;
       match Scanner.Observation.read_csv path with
@@ -61,6 +63,11 @@ let prop_csv_roundtrip =
       let* hint = option (int_range 0 10_000_000) in
       let* dhe = option hexstr in
       let* ecdhe = option hexstr in
+      let* attempts = int_range 1 5 in
+      let* failure =
+        if ok then return None
+        else map Option.some (oneofl Faults.Fault.all)
+      in
       return
         {
           Scanner.Observation.time;
@@ -75,6 +82,8 @@ let prop_csv_roundtrip =
           ticket_hint = hint;
           dhe_value = dhe;
           ecdhe_value = ecdhe;
+          failure;
+          attempts;
         })
     (fun conn ->
       match Scanner.Observation.of_csv_row (Scanner.Observation.to_csv_row conn) with
