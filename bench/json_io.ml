@@ -1,0 +1,243 @@
+(* Minimal JSON emitter and parser for the bench harness's machine-readable
+   output (BENCH_crypto.json / BENCH_baseline.json). The container has no
+   yojson, and the harness needs only objects, arrays, strings, numbers and
+   booleans — so this is a small, strict, recursive-descent implementation
+   rather than a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Emitting ------------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+(* Pretty-printed with two-space indentation, so the committed baseline
+   diffs readably. *)
+let to_string v =
+  let b = Buffer.create 1024 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f -> Buffer.add_string b (number_to_string f)
+    | Str s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (indent + 2);
+            go (indent + 2) item)
+          items;
+        Buffer.add_char b '\n';
+        pad indent;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (indent + 2);
+            escape_string b k;
+            Buffer.add_string b ": ";
+            go (indent + 2) item)
+          fields;
+        Buffer.add_char b '\n';
+        pad indent;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 'r' -> Buffer.add_char b '\r'
+               | 't' -> Buffer.add_char b '\t'
+               | 'b' -> Buffer.add_char b '\b'
+               | 'f' -> Buffer.add_char b '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "bad \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some c -> c
+                     | None -> fail "bad \\u escape"
+                   in
+                   (* Basic-multilingual-plane only; enough for ASCII keys. *)
+                   if code < 0x80 then Buffer.add_char b (Char.chr code)
+                   else fail "non-ASCII \\u escape unsupported";
+                   pos := !pos + 4
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            advance ();
+            loop ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+(* --- Accessors ------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+(* --- Files ---------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let load path = if Sys.file_exists path then Some (of_string (read_file path)) else None
+let save path v = write_file path (to_string v)

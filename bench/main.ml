@@ -7,16 +7,25 @@
    Usage:
      bench/main.exe                 run everything
      bench/main.exe t1 f3 google    run selected experiments
-     bench/main.exe micro           microbenchmarks only
+     bench/main.exe micro           microbenchmarks only (writes BENCH_crypto.json)
      bench/main.exe ablations       section 8.2 what-ifs only
      bench/main.exe parallel        serial vs parallel campaign wall-clock
      bench/main.exe faults          fault-injected campaign + loss funnel
+     bench/main.exe check-baseline  compare BENCH_crypto.json to BENCH_baseline.json
+
+   The `micro` and `parallel` entries additionally emit machine-readable
+   results to BENCH_crypto.json ("kernels" and "campaign" sections
+   respectively; see README.md for the format), and `check-baseline` exits
+   nonzero if any kernel regressed more than 2x against the committed
+   baseline — the CI bench smoke step.
 
    Environment:
-     TLSHARM_DOMAINS  sampled world size (default 4000)
-     TLSHARM_DAYS     campaign length in days (default 63)
-     TLSHARM_SEED     world seed (default "tlsharm")
-     TLSHARM_JOBS     campaign worker domains (default 1) *)
+     TLSHARM_DOMAINS   sampled world size (default 4000)
+     TLSHARM_DAYS      campaign length in days (default 63)
+     TLSHARM_SEED      world seed (default "tlsharm")
+     TLSHARM_JOBS      campaign worker domains (default 1)
+     TLSHARM_BENCH_MS  per-kernel timing budget in ms (default 200; CI uses
+                       a reduced budget) *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -52,6 +61,202 @@ let google_analysis () =
   ^ "\n"
   ^ Tlsharm.Target_analysis.static_stek_contrast study ~flagship:"yandex.ru"
   ^ "\n"
+
+(* --- Machine-readable bench output ------------------------------------------- *)
+
+let bench_json_path () =
+  Option.value (Sys.getenv_opt "TLSHARM_BENCH_OUT") ~default:"BENCH_crypto.json"
+
+(* Replace one top-level section of BENCH_crypto.json, preserving the
+   others, so `micro` (kernels) and `parallel` (campaign) can each run
+   alone without clobbering the other's results. *)
+let update_bench_json section value =
+  let path = bench_json_path () in
+  let existing =
+    match (try Json_io.load path with Json_io.Parse_error _ -> None) with
+    | Some (Json_io.Obj fields) -> List.remove_assoc section fields
+    | _ -> []
+  in
+  let fields = ("schema", Json_io.Str "tlsharm-bench/1") :: List.remove_assoc "schema" existing in
+  Json_io.save path (Json_io.Obj (fields @ [ (section, value) ]))
+
+(* --- Crypto-kernel benchmarks -------------------------------------------------- *)
+
+(* Hand-rolled timing for the kernel comparison: bechamel's OLS machinery
+   is great for the handshake table, but here we need a denominator — the
+   retained seed-era kernels — measured under the same loop, and a knob
+   (TLSHARM_BENCH_MS) small enough for a CI smoke run. Chunked so the
+   clock is read O(log n) times, not per call. *)
+let ns_per_op f =
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let budget = float_of_int (env_int "TLSHARM_BENCH_MS" 200) /. 1000.0 in
+  let t0 = Unix.gettimeofday () in
+  let total = ref 0 in
+  let chunk = ref 1 in
+  let elapsed = ref 0.0 in
+  while !elapsed < budget do
+    for _ = 1 to !chunk do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    total := !total + !chunk;
+    elapsed := Unix.gettimeofday () -. t0;
+    if !elapsed < budget /. 8.0 then chunk := !chunk * 2
+  done;
+  !elapsed /. float_of_int !total *. 1e9
+
+(* RFC 3526 group 14: the 2048-bit MODP prime, the production-sized DHE
+   modulus of the study period. *)
+let modp2048 =
+  Crypto.Bignum.of_hex
+    ("FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+   ^ "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+   ^ "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+   ^ "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+   ^ "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+   ^ "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+   ^ "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+   ^ "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF")
+
+(* Each kernel is timed twice under the same loop: the optimized path and
+   the verbatim seed-era reference; the ratio is the recorded speedup.
+   Inputs are DRBG-derived so runs are reproducible, and each pair is
+   checked for agreement before timing — a bench that measures a wrong
+   kernel fast is worse than no bench. *)
+let kernel_benches () =
+  let module B = Crypto.Bignum in
+  let module Ec = Crypto.Ec in
+  let rng = Crypto.Drbg.create ~seed:"bench-kernels" in
+  let ctx2048 = B.mont_of_modulus modp2048 in
+  let base2048 = Crypto.Drbg.bignum_below rng modp2048 in
+  let e256 = B.of_bytes_be (Crypto.Drbg.generate rng 32) in
+  let fb2048 = B.fixed_base ctx2048 B.two ~max_bits:256 in
+  let sim_group = Crypto.Dh.generate ~bits:64 ~seed:"bench" in
+  let sim_p = Crypto.Dh.group_p sim_group in
+  let sim_ctx = B.mont_of_modulus sim_p in
+  let sim_base = Crypto.Drbg.bignum_below rng sim_p in
+  let sim_e = B.of_bytes_be (Crypto.Drbg.generate rng 8) in
+  let k_p256 = Crypto.Drbg.bignum_below rng (Ec.curve_order Ec.p256) in
+  let q_p256 = Ec.Reference.scalar_mult_base Ec.p256 (B.of_int 7919) in
+  let sim_curve = Ec.generate_small ~bits:61 ~seed:"bench" in
+  let k_sim = Crypto.Drbg.bignum_below rng (Ec.curve_order sim_curve) in
+  let bn name f g = (name, (fun () -> ignore (Sys.opaque_identity (f ()))), (fun () -> ignore (Sys.opaque_identity (g ()))), B.equal (f ()) (g ())) in
+  let pt name f g = (name, (fun () -> ignore (Sys.opaque_identity (f ()))), (fun () -> ignore (Sys.opaque_identity (g ()))), f () = g ()) in
+  [
+    bn "pow_mod-2048"
+      (fun () -> B.pow_mod_ctx ctx2048 base2048 e256)
+      (fun () -> B.Reference.pow_mod_ctx ctx2048 base2048 e256);
+    bn "pow_mod-fixed-base-2048"
+      (fun () -> B.pow_mod_fixed fb2048 e256)
+      (fun () -> B.Reference.pow_mod_ctx ctx2048 B.two e256);
+    bn "pow_mod-sim64"
+      (fun () -> B.pow_mod_ctx sim_ctx sim_base sim_e)
+      (fun () -> B.Reference.pow_mod_ctx sim_ctx sim_base sim_e);
+    pt "scalar_mult_base-p256"
+      (fun () -> Ec.scalar_mult_base Ec.p256 k_p256)
+      (fun () -> Ec.Reference.scalar_mult_base Ec.p256 k_p256);
+    pt "scalar_mult-p256"
+      (fun () -> Ec.scalar_mult Ec.p256 k_p256 q_p256)
+      (fun () -> Ec.Reference.scalar_mult Ec.p256 k_p256 q_p256);
+    pt "scalar_mult_base-sim61"
+      (fun () -> Ec.scalar_mult_base sim_curve k_sim)
+      (fun () -> Ec.Reference.scalar_mult_base sim_curve k_sim);
+  ]
+
+let kernel_report () =
+  let pretty ns =
+    if ns < 1_000.0 then Printf.sprintf "%.0f ns" ns
+    else if ns < 1_000_000.0 then Printf.sprintf "%.1f us" (ns /. 1e3)
+    else Printf.sprintf "%.2f ms" (ns /. 1e6)
+  in
+  let measured =
+    List.map
+      (fun (name, opt, reference, agree) ->
+        if not agree then failwith (Printf.sprintf "bench: kernel %s disagrees with reference" name);
+        let ns_new = ns_per_op opt in
+        let ns_ref = ns_per_op reference in
+        (name, ns_new, ns_ref))
+      (kernel_benches ())
+  in
+  let json =
+    Json_io.List
+      (List.map
+         (fun (name, ns_new, ns_ref) ->
+           Json_io.Obj
+             [
+               ("name", Json_io.Str name);
+               ("ns_per_op", Json_io.Num ns_new);
+               ("ops_per_sec", Json_io.Num (1e9 /. ns_new));
+               ("seed_ns_per_op", Json_io.Num ns_ref);
+               ("speedup_vs_seed", Json_io.Num (ns_ref /. ns_new));
+             ])
+         measured)
+  in
+  update_bench_json "kernels" json;
+  Analysis.Report.section "Crypto kernels: optimized vs seed-era reference"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Kernel"; "Optimized"; "Seed-era"; "Speedup" ]
+      ~rows:
+        (List.map
+           (fun (name, ns_new, ns_ref) ->
+             [ name; pretty ns_new; pretty ns_ref; Printf.sprintf "%.2fx" (ns_ref /. ns_new) ])
+           measured)
+  ^ Printf.sprintf "\n\nKernel section written to %s.\n" (bench_json_path ())
+
+(* --- Baseline regression check -------------------------------------------------- *)
+
+(* CI smoke: BENCH_crypto.json must exist, parse, and carry a well-formed
+   kernel list; every kernel present in the committed baseline must still
+   be measured and run no slower than half its baseline ops/sec. *)
+let check_baseline () =
+  let fail msg =
+    prerr_endline ("check-baseline: " ^ msg);
+    exit 1
+  in
+  let load path =
+    match (try Json_io.load path with Json_io.Parse_error e -> fail (path ^ ": " ^ e)) with
+    | Some v -> v
+    | None -> fail (path ^ ": missing")
+  in
+  let kernels v path =
+    match Option.bind (Json_io.member "kernels" v) Json_io.to_list with
+    | Some l when l <> [] -> l
+    | _ -> fail (path ^ ": no \"kernels\" section")
+  in
+  let entry k path =
+    match
+      ( Option.bind (Json_io.member "name" k) Json_io.to_str,
+        Option.bind (Json_io.member "ops_per_sec" k) Json_io.to_float )
+    with
+    | Some name, Some ops when ops > 0.0 -> (name, ops)
+    | _ -> fail (path ^ ": malformed kernel entry")
+  in
+  let current_path = bench_json_path () in
+  let baseline_path = "BENCH_baseline.json" in
+  let current = List.map (fun k -> entry k current_path) (kernels (load current_path) current_path) in
+  let baseline =
+    List.map (fun k -> entry k baseline_path) (kernels (load baseline_path) baseline_path)
+  in
+  let rows =
+    List.map
+      (fun (name, base_ops) ->
+        match List.assoc_opt name current with
+        | None -> fail (Printf.sprintf "kernel %S in baseline but not measured" name)
+        | Some ops ->
+            let ratio = ops /. base_ops in
+            if ratio < 0.5 then
+              fail
+                (Printf.sprintf "kernel %S regressed %.2fx (%.0f -> %.0f ops/sec)" name
+                   (base_ops /. ops) base_ops ops);
+            [ name; Printf.sprintf "%.0f" base_ops; Printf.sprintf "%.0f" ops; Printf.sprintf "%.2fx" ratio ])
+      baseline
+  in
+  Analysis.Report.section "Baseline check (current vs committed BENCH_baseline.json)"
+  ^ "\n"
+  ^ Analysis.Report.table ~headers:[ "Kernel"; "Baseline ops/s"; "Current ops/s"; "Ratio" ] ~rows
+  ^ "\n\nAll kernels within 2x of baseline.\n"
 
 (* --- Microbenchmarks ----------------------------------------------------------- *)
 
@@ -239,6 +444,7 @@ let microbenches () =
   ^ "\n\nThe gap between full handshakes and resumptions is the performance incentive behind\n\
      the paper's crypto shortcuts; production-sized DHE (Oakley 1024) shows why servers\n\
      cached ephemeral values.\n"
+  ^ "\n" ^ kernel_report ()
 
 (* --- Serial vs parallel campaign ----------------------------------------------------- *)
 
@@ -273,6 +479,18 @@ let parallel_campaign_bench () =
   let par, t_par = time (fun () -> Scanner.Parallel_campaign.run ~jobs (fresh ()) ~days ()) in
   let one, t_one = time (fun () -> Scanner.Parallel_campaign.run ~jobs:1 (fresh ()) ~days ()) in
   let deterministic = par.Scanner.Daily_scan.series = one.Scanner.Daily_scan.series in
+  update_bench_json "campaign"
+    (Json_io.Obj
+       [
+         ("n_domains", Json_io.Num (float_of_int n_domains));
+         ("days", Json_io.Num (float_of_int days));
+         ("jobs", Json_io.Num (float_of_int jobs));
+         ("serial_s", Json_io.Num t_serial);
+         ("parallel_s", Json_io.Num t_par);
+         ("one_worker_s", Json_io.Num t_one);
+         ("parallel_speedup", Json_io.Num (t_one /. t_par));
+         ("deterministic", Json_io.Bool deterministic);
+       ]);
   Analysis.Report.section "Campaign runners (wall-clock)"
   ^ "\n"
   ^ Analysis.Report.table
@@ -386,6 +604,7 @@ let named : (string * (unit -> string)) list =
       ("micro", microbenches);
       ("parallel", parallel_campaign_bench);
       ("faults", faults_bench);
+      ("check-baseline", check_baseline);
     ]
 
 let () =

@@ -7,9 +7,14 @@
    intermediate product of the schoolbook and Montgomery multipliers within
    53 bits, comfortably inside OCaml's 63-bit native ints.
 
-   The one performance-sensitive operation is [pow_mod], which uses
-   Montgomery (CIOS) multiplication for odd moduli; everything else is
-   simple and obviously-correct schoolbook code. *)
+   The performance-sensitive operations are [pow_mod] / [pow_mod_ctx] /
+   [pow_mod_fixed] — every simulated (EC)DHE handshake runs one or more
+   modular exponentiations — and the Montgomery kernels behind {!Field}.
+   The hot kernels use a fused single-pass CIOS multiplier, a dedicated
+   squaring path ([mont_sqr]), sliding-window exponentiation and a
+   fixed-base comb cache; {!Reference} retains the seed-era kernels as the
+   obviously-correct baseline for property tests and the bench-regression
+   harness. Everything else is simple schoolbook code. *)
 
 let limb_bits = 26
 let base = 1 lsl limb_bits
@@ -37,17 +42,19 @@ let one = of_int 1
 let two = of_int 2
 
 let to_int_opt (a : t) =
-  (* Fits when it has at most two limbs plus 11 low bits of a third. *)
-  let n = Array.length a in
-  if n > 3 then None
-  else
-    let v = ref 0 in
-    let ok = ref true in
-    for i = n - 1 downto 0 do
-      if !v > max_int lsr limb_bits then ok := false
-      else v := (!v lsl limb_bits) lor a.(i)
-    done;
-    if !ok then Some !v else None
+  (* [(v lsl limb_bits) lor a.(i)] equals [v * base + a.(i)] (the ranges
+     are disjoint), which fits iff [v <= (max_int - a.(i)) / base] — an
+     exact bound for any limb width, unlike guarding on
+     [max_int lsr limb_bits] alone, which under-admits whenever the top
+     limb's capacity is not a full limb. Overflow is monotone in the
+     remaining limbs, so rejecting at the first overflowing step is
+     complete. *)
+  let rec go i v =
+    if i < 0 then Some v
+    else if v > (max_int - a.(i)) lsr limb_bits then None
+    else go (i - 1) ((v lsl limb_bits) lor a.(i))
+  in
+  go (Array.length a - 1) 0
 
 let to_int_exn a =
   match to_int_opt a with
@@ -247,12 +254,30 @@ let rec gcd a b = if is_zero b then a else gcd b (rem a b)
 
 (* --- Montgomery arithmetic (odd modulus) ------------------------------- *)
 
-type mont = {
+(* A fixed-base comb table (Lim–Lee): for a base [g] and exponents of at
+   most [w * d] bits, [tbl.(j)] holds g^(Σ_{k ∈ bits j} 2^(k·d)) in
+   Montgomery form, so an exponentiation costs [d] squarings and at most
+   [d] multiplications instead of ~[bits] squarings plus window
+   multiplications. Built once per (context, base) and cached on the
+   context — {!Dh.gen_keypair}'s repeated g^priv over the same group is
+   the payoff. *)
+type fixed_base = {
+  fb_ctx : mont;
+  fb_base : t; (* canonical base, for cache lookup and fallback *)
+  fb_w : int; (* comb teeth (rows) *)
+  fb_d : int; (* digits per row: covers exponents below 2^(w*d) *)
+  fb_tbl : int array array; (* 2^w entries, Montgomery form; [0] is unused *)
+}
+
+and mont = {
   m : int array; (* modulus, padded to [n] limbs *)
   modulus : t; (* canonical copy, for reductions *)
   n : int; (* limb count *)
   n0' : int; (* -m^-1 mod 2^26 *)
   r2 : int array; (* R^2 mod m, padded, R = 2^(26n) *)
+  rm : int array; (* R mod m, padded: 1 in Montgomery form *)
+  fb_lock : Mutex.t; (* guards [fb_cache] across domains *)
+  mutable fb_cache : fixed_base list;
 }
 
 let mont_of_modulus (m : t) : mont =
@@ -272,73 +297,229 @@ let mont_of_modulus (m : t) : mont =
   let r2 = rem (mul r_mod_m r_mod_m) m in
   let r2p = Array.make n 0 in
   Array.blit r2 0 r2p 0 (Array.length r2);
-  { m = padded; modulus = m; n; n0' = n0'; r2 = r2p }
+  let rmp = Array.make n 0 in
+  Array.blit r_mod_m 0 rmp 0 (Array.length r_mod_m);
+  {
+    m = padded;
+    modulus = m;
+    n;
+    n0' = n0';
+    r2 = r2p;
+    rm = rmp;
+    fb_lock = Mutex.create ();
+    fb_cache = [];
+  }
 
-(* CIOS Montgomery multiplication: out = a * b * R^-1 mod m.
-   [a], [b] and the result are n-limb arrays (not necessarily canonical). *)
-let mont_mul ctx (a : int array) (b : int array) : int array =
+(* Subtract the modulus in place from an (n+1)-limb accumulator whose value
+   is known to lie in [0, 2m); shared tail of the two kernels below. *)
+let cond_sub_m ctx (t : int array) (hi : int) : int array =
   let n = ctx.n in
   let m = ctx.m in
-  let t = Array.make (n + 2) 0 in
-  for i = 0 to n - 1 do
-    let ai = a.(i) in
-    let carry = ref 0 in
-    for j = 0 to n - 1 do
-      let s = t.(j) + (ai * b.(j)) + !carry in
-      t.(j) <- s land mask;
-      carry := s lsr limb_bits
-    done;
-    let s = t.(n) + !carry in
-    t.(n) <- s land mask;
-    t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
-    let mi = t.(0) * ctx.n0' land mask in
-    let s = t.(0) + (mi * m.(0)) in
-    let carry = ref (s lsr limb_bits) in
-    for j = 1 to n - 1 do
-      let s = t.(j) + (mi * m.(j)) + !carry in
-      t.(j - 1) <- s land mask;
-      carry := s lsr limb_bits
-    done;
-    let s = t.(n) + !carry in
-    t.(n - 1) <- s land mask;
-    t.(n) <- t.(n + 1) + (s lsr limb_bits);
-    t.(n + 1) <- 0
-  done;
-  let out = Array.sub t 0 n in
-  (* Conditional final subtraction: t may be in [0, 2m). *)
   let ge =
-    if t.(n) > 0 then true
-    else begin
-      let rec go i =
-        if i < 0 then true else if out.(i) <> m.(i) then out.(i) > m.(i) else go (i - 1)
-      in
-      go (n - 1)
-    end
+    t.(hi + n) > 0
+    ||
+    let rec go i =
+      if i < 0 then true
+      else if Array.unsafe_get t (hi + i) <> Array.unsafe_get m i then
+        Array.unsafe_get t (hi + i) > Array.unsafe_get m i
+      else go (i - 1)
+    in
+    go (n - 1)
   in
+  let out = Array.make n 0 in
   if ge then begin
     let borrow = ref 0 in
     for i = 0 to n - 1 do
-      let d = out.(i) - m.(i) - !borrow in
+      let d = Array.unsafe_get t (hi + i) - Array.unsafe_get m i - !borrow in
       if d < 0 then begin
-        out.(i) <- d + base;
+        Array.unsafe_set out i (d + base);
         borrow := 1
       end
       else begin
-        out.(i) <- d;
+        Array.unsafe_set out i d;
         borrow := 0
       end
     done
-  end;
+  end
+  else Array.blit t hi out 0 n;
   out
+
+(* Fused CIOS Montgomery multiplication: out = a * b * R^-1 mod m. The
+   multiply and the reduction share one inner loop per outer limb, halving
+   loop and memory traffic versus the two-pass seed kernel (retained in
+   {!Reference}). Range check for the fused accumulator: t.(j) < 2^26 and
+   ai*b.(j) + u*m.(j) < 2^53, so s stays below 2^53 + 2^28 — inside a
+   63-bit int — and carries below 2^27. [a], [b] and the result are n-limb
+   arrays (not necessarily canonical). *)
+let mont_mul ctx (a : int array) (b : int array) : int array =
+  let n = ctx.n in
+  let m = ctx.m in
+  let n0' = ctx.n0' in
+  let t = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    let s0 = Array.unsafe_get t 0 + (ai * Array.unsafe_get b 0) in
+    let u = (s0 land mask) * n0' land mask in
+    let carry = ref ((s0 + (u * Array.unsafe_get m 0)) lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let s =
+        Array.unsafe_get t j + (ai * Array.unsafe_get b j) + (u * Array.unsafe_get m j) + !carry
+      in
+      Array.unsafe_set t (j - 1) (s land mask);
+      carry := s lsr limb_bits
+    done;
+    let s = Array.unsafe_get t n + !carry in
+    Array.unsafe_set t (n - 1) (s land mask);
+    Array.unsafe_set t n (s lsr limb_bits)
+  done;
+  cond_sub_m ctx t 0
+
+(* Dedicated squaring via finely-integrated product scanning (FIPS):
+   each output column accumulates its doubled cross products, its diagonal
+   term, and its share of the Montgomery reduction in a single register
+   before one store — ~1.5n² limb multiplications against the multiplier's
+   2n², and none of the load/store churn of a separate double-width square.
+
+   Column-accumulator range: a column gathers at most n doubled cross
+   products (< n·2^53) plus a diagonal (< 2^52) plus n reduction products
+   u_i·m_j (< n·2^52) plus an inter-column carry (< 2^36), so it stays
+   below ~1.5n·2^53 — inside a 63-bit int for n up to ~340 limbs (~8800
+   bits), far beyond any modulus this library handles. *)
+let mont_sqr ctx (a : int array) : int array =
+  let n = ctx.n in
+  let m = ctx.m in
+  let n0' = ctx.n0' in
+  let u = Array.make n 0 in
+  let out = Array.make (n + 1) 0 in
+  (* Both inner loops are 2-way unrolled with independent accumulators:
+     a single-multiply column loop is latency-bound on the add chain, and
+     splitting it recovers the instruction-level parallelism the fused
+     multiplier gets for free from its two products per iteration. *)
+  (* conv x y k lo hi = Σ_{i=lo..hi} x_i · y_{k−i} *)
+  let conv (x : int array) (y : int array) k lo hi =
+    let s1 = ref 0 and s2 = ref 0 in
+    let i = ref lo in
+    while !i < hi do
+      s1 := !s1 + (Array.unsafe_get x !i * Array.unsafe_get y (k - !i));
+      s2 := !s2 + (Array.unsafe_get x (!i + 1) * Array.unsafe_get y (k - !i - 1));
+      i := !i + 2
+    done;
+    if !i = hi then s1 := !s1 + (Array.unsafe_get x hi * Array.unsafe_get y (k - hi));
+    !s1 + !s2
+  in
+  let carry = ref 0 in
+  (* Low columns k = 0..n-1: full square column + reduction products of
+     the u_i chosen so far, then pick u_k to zero the column. *)
+  for k = 0 to n - 1 do
+    let acc = ref !carry in
+    acc := !acc + (conv a a k 0 ((k - 1) asr 1) lsl 1);
+    (if k land 1 = 0 then
+       let h = Array.unsafe_get a (k lsr 1) in
+       acc := !acc + (h * h));
+    acc := !acc + conv u m k 0 (k - 1);
+    let uk = (!acc land mask) * n0' land mask in
+    Array.unsafe_set u k uk;
+    acc := !acc + (uk * Array.unsafe_get m 0);
+    carry := !acc lsr limb_bits
+  done;
+  (* High columns k = n..2n-1 land directly in the output. *)
+  for k = n to (2 * n) - 1 do
+    let acc = ref !carry in
+    acc := !acc + (conv a a k (k - n + 1) ((k - 1) asr 1) lsl 1);
+    (if k land 1 = 0 && k lsr 1 < n then
+       let h = Array.unsafe_get a (k lsr 1) in
+       acc := !acc + (h * h));
+    acc := !acc + conv u m k (k - n + 1) (n - 1);
+    Array.unsafe_set out (k - n) (!acc land mask);
+    carry := !acc lsr limb_bits
+  done;
+  Array.unsafe_set out n !carry;
+  (* (a² + u·m)/R < 2m since a < m; one conditional subtract finishes. *)
+  cond_sub_m ctx out 0
 
 let pad_to n (a : t) =
   let out = Array.make n 0 in
   Array.blit a 0 out 0 (Array.length a);
   out
 
-(* a^e mod m. Montgomery square-and-multiply for odd m; generic
+(* Montgomery form of a canonical value, and back. *)
+let to_mont ctx (a : t) = mont_mul ctx (pad_to ctx.n (rem a ctx.modulus)) ctx.r2
+let of_mont ctx (a : int array) = norm (mont_mul ctx a (pad_to ctx.n one))
+
+(* Sliding-window width for an exponent of [ebits] bits: the widest table
+   whose construction cost (2^(w-1) multiplications) is amortized by the
+   ~ebits/(w+1) window multiplications it saves. Capped at 5 (a 16-entry
+   odd-powers table), past which returns diminish below 4096 bits. *)
+let window_width ebits =
+  if ebits <= 8 then 1
+  else if ebits <= 24 then 2
+  else if ebits <= 80 then 3
+  else if ebits <= 240 then 4
+  else 5
+
+(* Bits [lo..hi] of [e] (inclusive) as an int; hi - lo < 26. *)
+let bits_range (e : t) lo hi =
+  let v = ref 0 in
+  for i = hi downto lo do
+    v := (!v lsl 1) lor (if test_bit e i then 1 else 0)
+  done;
+  !v
+
+(* Left-to-right sliding-window exponentiation over a Montgomery context:
+   squarings take the dedicated [mont_sqr] path; multiplications hit a
+   precomputed odd-powers table a^1, a^3, …, a^(2^w − 1), so runs of zero
+   bits cost squarings only. *)
+let pow_mont (ctx : mont) (am : int array) (e : t) : int array =
+  let ebits = num_bits e in
+  let w = window_width ebits in
+  if w = 1 then begin
+    let acc = ref am in
+    for i = ebits - 2 downto 0 do
+      acc := mont_sqr ctx !acc;
+      if test_bit e i then acc := mont_mul ctx !acc am
+    done;
+    !acc
+  end
+  else begin
+    let tbl = Array.make (1 lsl (w - 1)) am in
+    let a2 = mont_sqr ctx am in
+    for i = 1 to Array.length tbl - 1 do
+      tbl.(i) <- mont_mul ctx tbl.(i - 1) a2
+    done;
+    let acc = ref ctx.rm in
+    let started = ref false in
+    let i = ref (ebits - 1) in
+    while !i >= 0 do
+      if not (test_bit e !i) then begin
+        if !started then acc := mont_sqr ctx !acc;
+        decr i
+      end
+      else begin
+        (* Largest window ending in a set bit: [l..i], l chosen so the
+           windowed value is odd and at most w bits wide. *)
+        let l = ref (max 0 (!i - w + 1)) in
+        while not (test_bit e !l) do
+          incr l
+        done;
+        let v = bits_range e !l !i in
+        if !started then
+          for _ = 1 to !i - !l + 1 do
+            acc := mont_sqr ctx !acc
+          done;
+        acc := (if !started then mont_mul ctx !acc tbl.((v - 1) / 2) else tbl.((v - 1) / 2));
+        started := true;
+        i := !l - 1
+      end
+    done;
+    !acc
+  end
+
+let pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
+  if is_zero e then rem one ctx.modulus else of_mont ctx (pow_mont ctx (to_mont ctx a) e)
+
+(* a^e mod m. Montgomery sliding-window for odd m; generic
    square-and-multiply with binary reduction otherwise. *)
-let rec pow_mod (a : t) (e : t) (m : t) : t =
+let pow_mod (a : t) (e : t) (m : t) : t =
   if is_zero m then raise Division_by_zero;
   if is_one m then zero
   else if is_zero e then rem one m
@@ -356,18 +537,175 @@ let rec pow_mod (a : t) (e : t) (m : t) : t =
   end
   else pow_mod_ctx (mont_of_modulus m) a e
 
-and pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
-  if is_zero e then rem one ctx.modulus
-  else begin
-    let n = ctx.n in
-    let am = mont_mul ctx (pad_to n (rem a ctx.modulus)) ctx.r2 in
-    let acc = ref (mont_mul ctx (pad_to n one) ctx.r2) in
-    for i = num_bits e - 1 downto 0 do
-      acc := mont_mul ctx !acc !acc;
-      if test_bit e i then acc := mont_mul ctx !acc am
+(* --- Fixed-base comb ----------------------------------------------------- *)
+
+let fixed_base_build ctx (g : t) ~w ~d : fixed_base =
+  let gm = to_mont ctx g in
+  (* rows.(k) = g^(2^(k*d)) in Montgomery form. *)
+  let rows = Array.make w gm in
+  for k = 1 to w - 1 do
+    let x = ref rows.(k - 1) in
+    for _ = 1 to d do
+      x := mont_sqr ctx !x
     done;
-    norm (mont_mul ctx !acc (pad_to n one))
+    rows.(k) <- !x
+  done;
+  let tbl = Array.make (1 lsl w) ctx.rm in
+  for j = 1 to (1 lsl w) - 1 do
+    let low = j land -j in
+    let k = ref 0 in
+    let v = ref low in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr k
+    done;
+    tbl.(j) <- (if j = low then rows.(!k) else mont_mul ctx tbl.(j - low) rows.(!k))
+  done;
+  { fb_ctx = ctx; fb_base = rem g ctx.modulus; fb_w = w; fb_d = d; fb_tbl = tbl }
+
+let fixed_base_teeth = 4
+
+let fixed_base (ctx : mont) (g : t) ~max_bits : fixed_base =
+  if max_bits <= 0 then invalid_arg "Bignum.fixed_base: max_bits must be positive";
+  let g = rem g ctx.modulus in
+  let d = (max_bits + fixed_base_teeth - 1) / fixed_base_teeth in
+  Mutex.lock ctx.fb_lock;
+  let found =
+    List.find_opt (fun fb -> fb.fb_d = d && equal fb.fb_base g) ctx.fb_cache
+  in
+  match found with
+  | Some fb ->
+      Mutex.unlock ctx.fb_lock;
+      fb
+  | None ->
+      (* Build under the lock: redundant concurrent builds of a 2^w-entry
+         table cost more than the brief exclusion, and callers only hit
+         this once per (group, base). *)
+      let fb =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock ctx.fb_lock)
+          (fun () ->
+            let fb = fixed_base_build ctx g ~w:fixed_base_teeth ~d in
+            ctx.fb_cache <- fb :: ctx.fb_cache;
+            fb)
+      in
+      fb
+
+let pow_mod_fixed (fb : fixed_base) (e : t) : t =
+  let ctx = fb.fb_ctx in
+  if is_zero e then rem one ctx.modulus
+  else if num_bits e > fb.fb_w * fb.fb_d then
+    (* Wider than the table covers; correctness over speed. *)
+    pow_mod_ctx ctx fb.fb_base e
+  else begin
+    let d = fb.fb_d in
+    let acc = ref ctx.rm in
+    let started = ref false in
+    for i = d - 1 downto 0 do
+      if !started then acc := mont_sqr ctx !acc;
+      let j = ref 0 in
+      for k = fb.fb_w - 1 downto 0 do
+        j := (!j lsl 1) lor (if test_bit e (i + (k * d)) then 1 else 0)
+      done;
+      if !j <> 0 then begin
+        acc := (if !started then mont_mul ctx !acc fb.fb_tbl.(!j) else fb.fb_tbl.(!j));
+        started := true
+      end
+    done;
+    of_mont ctx !acc
   end
+
+(* --- Seed-era reference kernels -------------------------------------------
+   Verbatim copies of the pre-optimization multiplier and exponentiation
+   loop. They are the semantic baseline: the property suite asserts the
+   windowed/comb paths agree with these on random inputs, and the bench
+   harness reports speedups against them. Do not "optimize" this module. *)
+
+module Reference = struct
+  let mont_mul ctx (a : int array) (b : int array) : int array =
+    let n = ctx.n in
+    let m = ctx.m in
+    let t = Array.make (n + 2) 0 in
+    for i = 0 to n - 1 do
+      let ai = a.(i) in
+      let carry = ref 0 in
+      for j = 0 to n - 1 do
+        let s = t.(j) + (ai * b.(j)) + !carry in
+        t.(j) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      let s = t.(n) + !carry in
+      t.(n) <- s land mask;
+      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+      let mi = t.(0) * ctx.n0' land mask in
+      let s = t.(0) + (mi * m.(0)) in
+      let carry = ref (s lsr limb_bits) in
+      for j = 1 to n - 1 do
+        let s = t.(j) + (mi * m.(j)) + !carry in
+        t.(j - 1) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      let s = t.(n) + !carry in
+      t.(n - 1) <- s land mask;
+      t.(n) <- t.(n + 1) + (s lsr limb_bits);
+      t.(n + 1) <- 0
+    done;
+    let out = Array.sub t 0 n in
+    (* Conditional final subtraction: t may be in [0, 2m). *)
+    let ge =
+      if t.(n) > 0 then true
+      else begin
+        let rec go i =
+          if i < 0 then true else if out.(i) <> m.(i) then out.(i) > m.(i) else go (i - 1)
+        in
+        go (n - 1)
+      end
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let d = out.(i) - m.(i) - !borrow in
+        if d < 0 then begin
+          out.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          out.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    out
+
+  let pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
+    if is_zero e then rem one ctx.modulus
+    else begin
+      let n = ctx.n in
+      let am = mont_mul ctx (pad_to n (rem a ctx.modulus)) ctx.r2 in
+      let acc = ref (mont_mul ctx (pad_to n one) ctx.r2) in
+      for i = num_bits e - 1 downto 0 do
+        acc := mont_mul ctx !acc !acc;
+        if test_bit e i then acc := mont_mul ctx !acc am
+      done;
+      norm (mont_mul ctx !acc (pad_to n one))
+    end
+
+  let pow_mod (a : t) (e : t) (m : t) : t =
+    if is_zero m then raise Division_by_zero;
+    if is_one m then zero
+    else if is_zero e then rem one m
+    else if is_even m then begin
+      let e_bits = num_bits e in
+      let acc = ref (rem one m) in
+      let b = ref (rem a m) in
+      for i = 0 to e_bits - 1 do
+        if test_bit e i then acc := rem (mul !acc !b) m;
+        if i < e_bits - 1 then b := rem (mul !b !b) m
+      done;
+      !acc
+    end
+    else pow_mod_ctx (mont_of_modulus m) a e
+end
 
 (* Modular inverse for prime modulus via Fermat's little theorem. Every
    modulus we invert under (EC field primes) is prime. *)
@@ -391,8 +729,8 @@ module Field = struct
   let create (m : t) : ctx = mont_of_modulus m
   let modulus (c : ctx) = c.modulus
 
-  let of_bignum (c : ctx) (a : t) : fe = mont_mul c (pad_to c.n (rem a c.modulus)) c.r2
-  let to_bignum (c : ctx) (a : fe) : t = norm (mont_mul c a (pad_to c.n one))
+  let of_bignum (c : ctx) (a : t) : fe = to_mont c a
+  let to_bignum (c : ctx) (a : fe) : t = of_mont c a
 
   let zero (c : ctx) : fe = Array.make c.n 0
   let one (c : ctx) : fe = of_bignum c one
@@ -463,7 +801,7 @@ module Field = struct
     out
 
   let mul (c : ctx) (a : fe) (b : fe) : fe = mont_mul c a b
-  let sqr (c : ctx) (a : fe) : fe = mont_mul c a a
+  let sqr (c : ctx) (a : fe) : fe = mont_sqr c a
 
   let mul_small (c : ctx) (a : fe) k =
     (* k is a small non-negative int (<= 8 in practice); double-and-add
@@ -487,12 +825,7 @@ module Field = struct
     of_bignum c (pow_mod_ctx c av (bignum_sub c.modulus two))
 
   let pow (c : ctx) (a : fe) (e : t) : fe =
-    let acc = ref (one c) in
-    for i = num_bits e - 1 downto 0 do
-      acc := sqr c !acc;
-      if test_bit e i then acc := mul c !acc a
-    done;
-    !acc
+    if is_zero e then one c else pow_mont c a e
 end
 
 (* --- Conversions -------------------------------------------------------- *)

@@ -48,7 +48,8 @@ val rem : t -> t -> t
 val gcd : t -> t -> t
 
 val pow_mod : t -> t -> t -> t
-(** [pow_mod a e m] is [a{^e} mod m]. *)
+(** [pow_mod a e m] is [a{^e} mod m]. Odd moduli take the sliding-window
+    Montgomery path with a dedicated squaring kernel. *)
 
 type mont
 (** Cached Montgomery context for a fixed odd modulus. *)
@@ -58,6 +59,33 @@ val mont_of_modulus : t -> mont
 
 val pow_mod_ctx : mont -> t -> t -> t
 (** [pow_mod_ctx ctx a e] is [a{^e} mod m] for the context's modulus. *)
+
+type fixed_base
+(** A fixed-base comb table: one-time precomputation over a (context,
+    base) pair that makes every subsequent exponentiation of that base
+    cost ~bits/4 squarings and multiplications instead of ~bits of each.
+    Used by {!Dh.gen_keypair}, where the group generator is raised to a
+    fresh private exponent on every simulated handshake. *)
+
+val fixed_base : mont -> t -> max_bits:int -> fixed_base
+(** [fixed_base ctx g ~max_bits] returns the comb table for [g] covering
+    exponents up to [max_bits] bits, building and caching it on [ctx] on
+    first use (the cache is keyed by the base value and table geometry,
+    and is safe to populate from multiple domains). Raises
+    [Invalid_argument] if [max_bits <= 0]. *)
+
+val pow_mod_fixed : fixed_base -> t -> t
+(** [pow_mod_fixed fb e] is [g{^e} mod m] for the table's base and
+    modulus. Exponents wider than the table covers fall back to
+    {!pow_mod_ctx}. *)
+
+(** Seed-era kernels (two-pass CIOS multiply, plain left-to-right
+    square-and-multiply), retained verbatim as the semantic baseline for
+    the property suite and the bench-regression harness. *)
+module Reference : sig
+  val pow_mod : t -> t -> t -> t
+  val pow_mod_ctx : mont -> t -> t -> t
+end
 
 val mod_inverse_prime : t -> t -> t
 (** [mod_inverse_prime a p] for prime [p] via Fermat's little theorem.

@@ -16,10 +16,12 @@ type group = {
   g : Bignum.t; (* generator *)
   q_bits : int; (* exponent size drawn for private values *)
   mont : Bignum.mont; (* cached Montgomery context for p *)
+  g_fixed : Bignum.fixed_base; (* comb table for g^priv in gen_keypair *)
 }
 
 let make_group ~name ~p ~g ~q_bits =
-  { name; p; g; q_bits; mont = Bignum.mont_of_modulus p }
+  let mont = Bignum.mont_of_modulus p in
+  { name; p; g; q_bits; mont; g_fixed = Bignum.fixed_base mont g ~max_bits:q_bits }
 
 let group_name g = g.name
 let group_p g = g.p
@@ -142,7 +144,7 @@ let gen_keypair group rng =
   (* Short exponents: [q_bits] of entropy, never 0 or 1. *)
   let bound = Bignum.shift_left Bignum.one group.q_bits in
   let priv = Bignum.add_int (Drbg.bignum_below rng (Bignum.sub_int bound 2)) 2 in
-  let pub = Bignum.pow_mod_ctx group.mont group.g priv in
+  let pub = Bignum.pow_mod_fixed group.g_fixed priv in
   { group; priv; pub }
 
 let public_bytes kp =

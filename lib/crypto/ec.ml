@@ -10,6 +10,14 @@
    small curves' cryptographic weakness (MOV) is irrelevant to the
    measurements, as discussed in DESIGN.md.
 
+   Scalar multiplication is the campaign's hottest kernel (one or two per
+   simulated handshake), so it stays entirely in Jacobian coordinates:
+   [scalar_mult] recodes the scalar in width-w NAF against a table of odd
+   multiples, and [scalar_mult_base] walks a per-curve fixed-base comb of
+   affine points (built once in [make_curve]) with mixed additions. The
+   seed-era double-and-add loop survives in {!Reference} as the semantic
+   baseline for property tests and the bench harness.
+
    Arithmetic is not constant-time; this library measures protocol
    behaviour, it does not defend live traffic. *)
 
@@ -26,7 +34,14 @@ type curve = {
   n : Bignum.t; (* order of the base point *)
   h : int; (* cofactor *)
   n_mont : Bignum.mont Lazy.t; (* cached context for mod-n arithmetic (ECDSA) *)
+  comb : comb; (* fixed-base comb for [scalar_mult_base], built eagerly *)
 }
+
+(* Lim–Lee comb over the base point: [ctable.(j)] is the affine form of
+   Σ_{k ∈ bits j} 2^(k·cd) · G ([None] for the point at infinity, which a
+   tooth pattern can hit when the implied scalar is a multiple of n).
+   Affine entries make every comb addition a mixed addition. *)
+and comb = { cw : int; cd : int; ctable : (F.fe * F.fe) option array }
 
 type point = Inf | Affine of Bignum.t * Bignum.t
 
@@ -34,50 +49,6 @@ let curve_name c = c.name
 let curve_p c = F.modulus c.fctx
 let curve_order c = c.n
 let base_point c = Affine (c.gx, c.gy)
-
-let make_curve ~name ~p ~a ~b ~gx ~gy ~n ~h =
-  let fctx = F.create p in
-  let a_fe = F.of_bignum fctx a in
-  {
-    name;
-    fctx;
-    a = a_fe;
-    b = F.of_bignum fctx b;
-    a_is_minus3 = Bignum.equal a (Bignum.sub_int p 3);
-    gx;
-    gy;
-    n;
-    h;
-    n_mont = lazy (Bignum.mont_of_modulus n);
-  }
-
-(* Inverse modulo the (prime) group order, with a cached Montgomery
-   context — ECDSA calls this once per signature and verification. *)
-let mod_order_inverse c (a : Bignum.t) =
-  let a = Bignum.rem a c.n in
-  if Bignum.is_zero a then invalid_arg "Ec.mod_order_inverse: zero";
-  Bignum.pow_mod_ctx (Lazy.force c.n_mont) a (Bignum.sub c.n Bignum.two)
-
-(* NIST P-256 (secp256r1) domain parameters; the test suite validates them
-   structurally (base point on curve, n * G = infinity, p and n prime). *)
-let p256 =
-  let p = Bignum.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
-  make_curve ~name:"secp256r1" ~p
-    ~a:(Bignum.sub_int p 3)
-    ~b:(Bignum.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
-    ~gx:(Bignum.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
-    ~gy:(Bignum.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
-    ~n:(Bignum.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
-    ~h:1
-
-let on_curve c = function
-  | Inf -> true
-  | Affine (x, y) ->
-      let fctx = c.fctx in
-      let xf = F.of_bignum fctx x and yf = F.of_bignum fctx y in
-      let lhs = F.sqr fctx yf in
-      let rhs = F.add fctx (F.mul fctx (F.sqr fctx xf) xf) (F.add fctx (F.mul fctx c.a xf) c.b) in
-      F.equal lhs rhs
 
 (* --- Jacobian arithmetic -------------------------------------------------
    (X, Y, Z) represents affine (X/Z^2, Y/Z^3); Z = 0 is infinity. *)
@@ -102,6 +73,8 @@ let of_jac c j =
     let y = F.mul f j.y (F.mul f zinv2 zinv) in
     Affine (F.to_bignum f x, F.to_bignum f y)
   end
+
+let jac_neg c j = if jac_is_inf j then j else { j with y = F.neg c.fctx j.y }
 
 let jac_double c j =
   if jac_is_inf j || F.is_zero j.y then jac_inf c
@@ -150,25 +123,247 @@ let jac_add c p q =
     end
   end
 
+(* Mixed addition p + (qx, qy) with the second operand affine (Z = 1):
+   saves four multiplications and a squaring over [jac_add]; it is what
+   makes the comb's affine table pay. *)
+let jac_add_affine c p ((qx, qy) : F.fe * F.fe) =
+  if jac_is_inf p then { x = qx; y = qy; z = F.one c.fctx }
+  else begin
+    let f = c.fctx in
+    let z2 = F.sqr f p.z in
+    let u2 = F.mul f qx z2 in
+    let s2 = F.mul f qy (F.mul f z2 p.z) in
+    if F.equal p.x u2 then
+      if F.equal p.y s2 then jac_double c p else jac_inf c
+    else begin
+      let h = F.sub f u2 p.x in
+      let r = F.sub f s2 p.y in
+      let h2 = F.sqr f h in
+      let h3 = F.mul f h2 h in
+      let v = F.mul f p.x h2 in
+      let x3 = F.sub f (F.sub f (F.sqr f r) h3) (F.mul_small f v 2) in
+      let y3 = F.sub f (F.mul f r (F.sub f v x3)) (F.mul f p.y h3) in
+      { x = x3; y = y3; z = F.mul f p.z h }
+    end
+  end
+
+(* --- Scalar multiplication ----------------------------------------------- *)
+
+(* Low [bits] bits of [k] as an int; bits <= 6 in practice. *)
+let low_bits k bits =
+  let v = ref 0 in
+  for i = bits - 1 downto 0 do
+    v := (!v lsl 1) lor (if Bignum.test_bit k i then 1 else 0)
+  done;
+  !v
+
+(* Width-w NAF recoding, least significant digit first: digits are zero or
+   odd in [-(2^w - 1), 2^w - 1], with at least w zeros after each nonzero
+   digit, so a b-bit scalar needs ~b/(w+1) point additions. *)
+let wnaf_digits ~w k =
+  let digits = Array.make (Bignum.num_bits k + 2) 0 in
+  let len = ref 0 in
+  let half = 1 lsl w in
+  let full = 1 lsl (w + 1) in
+  let k = ref k in
+  while not (Bignum.is_zero !k) do
+    let dig =
+      if Bignum.test_bit !k 0 then begin
+        let d = low_bits !k (w + 1) in
+        if d >= half then begin
+          (* Centered residue d - 2^(w+1): subtracting it adds to k. *)
+          k := Bignum.add_int !k (full - d);
+          d - full
+        end
+        else begin
+          k := Bignum.sub_int !k d;
+          d
+        end
+      end
+      else 0
+    in
+    digits.(!len) <- dig;
+    incr len;
+    k := Bignum.shift_right !k 1
+  done;
+  (digits, !len)
+
+let wnaf_width kbits = if kbits <= 16 then 2 else if kbits <= 64 then 3 else 4
+
+let jac_scalar_mult c k p =
+  if Bignum.is_zero k || jac_is_inf p then jac_inf c
+  else begin
+    let w = wnaf_width (Bignum.num_bits k) in
+    (* Odd multiples P, 3P, 5P, …, (2^w - 1)P. *)
+    let tbl = Array.make (1 lsl (w - 1)) p in
+    let p2 = jac_double c p in
+    for i = 1 to Array.length tbl - 1 do
+      tbl.(i) <- jac_add c tbl.(i - 1) p2
+    done;
+    let digits, len = wnaf_digits ~w k in
+    let acc = ref (jac_inf c) in
+    for i = len - 1 downto 0 do
+      acc := jac_double c !acc;
+      let d = digits.(i) in
+      if d > 0 then acc := jac_add c !acc tbl.((d - 1) / 2)
+      else if d < 0 then acc := jac_add c !acc (jac_neg c tbl.((-d - 1) / 2))
+    done;
+    !acc
+  end
+
+let scalar_mult c k p = of_jac c (jac_scalar_mult c k (to_jac c p))
+
+let jac_scalar_mult_base c k =
+  let { cw; cd; ctable } = c.comb in
+  if Bignum.is_zero k then jac_inf c
+  else if Bignum.num_bits k > cw * cd then
+    (* Wider than the comb covers (scalars beyond the group order);
+       correctness over speed. *)
+    jac_scalar_mult c k (to_jac c (base_point c))
+  else begin
+    let acc = ref (jac_inf c) in
+    for i = cd - 1 downto 0 do
+      acc := jac_double c !acc;
+      let j = ref 0 in
+      for t = cw - 1 downto 0 do
+        j := (!j lsl 1) lor (if Bignum.test_bit k (i + (t * cd)) then 1 else 0)
+      done;
+      if !j <> 0 then
+        match ctable.(!j) with
+        | Some ap -> acc := jac_add_affine c !acc ap
+        | None -> () (* entry is the point at infinity; adding it is a no-op *)
+    done;
+    !acc
+  end
+
+let scalar_mult_base c k = of_jac c (jac_scalar_mult_base c k)
+
+let scalar_mult_base_add c u1 u2 q =
+  of_jac c (jac_add c (jac_scalar_mult_base c u1) (jac_scalar_mult c u2 (to_jac c q)))
+
+(* --- Curve construction --------------------------------------------------- *)
+
+(* Five teeth: 2^5 = 32 affine table entries per curve, ~bits/5 doublings
+   and at most as many mixed additions per fixed-base multiplication. The
+   one-time build cost (31 additions + 31 inversions) is trivial even for
+   the small simulation curves generated in bulk. *)
+let comb_teeth = 5
+
+let build_comb c =
+  let nbits = max 1 (Bignum.num_bits c.n) in
+  let w = comb_teeth in
+  let d = (nbits + w - 1) / w in
+  let g = to_jac c (Affine (c.gx, c.gy)) in
+  (* rows.(k) = 2^(k·d) · G *)
+  let rows = Array.make w g in
+  for k = 1 to w - 1 do
+    let x = ref rows.(k - 1) in
+    for _ = 1 to d do
+      x := jac_double c !x
+    done;
+    rows.(k) <- !x
+  done;
+  let tbl = Array.make (1 lsl w) (jac_inf c) in
+  for j = 1 to (1 lsl w) - 1 do
+    let low = j land -j in
+    let k = ref 0 in
+    let v = ref low in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr k
+    done;
+    tbl.(j) <- (if j = low then rows.(!k) else jac_add c tbl.(j - low) rows.(!k))
+  done;
+  let ctable =
+    Array.map
+      (fun jp ->
+        if jac_is_inf jp then None
+        else begin
+          let f = c.fctx in
+          let zinv = F.inv f jp.z in
+          let zinv2 = F.sqr f zinv in
+          Some (F.mul f jp.x zinv2, F.mul f jp.y (F.mul f zinv2 zinv))
+        end)
+      tbl
+  in
+  { cw = w; cd = d; ctable }
+
+let make_curve ~name ~p ~a ~b ~gx ~gy ~n ~h =
+  let fctx = F.create p in
+  let a_fe = F.of_bignum fctx a in
+  let c0 =
+    {
+      name;
+      fctx;
+      a = a_fe;
+      b = F.of_bignum fctx b;
+      a_is_minus3 = Bignum.equal a (Bignum.sub_int p 3);
+      gx;
+      gy;
+      n;
+      h;
+      n_mont = lazy (Bignum.mont_of_modulus n);
+      comb = { cw = 0; cd = 0; ctable = [||] };
+    }
+  in
+  { c0 with comb = build_comb c0 }
+
+(* Inverse modulo the (prime) group order, with a cached Montgomery
+   context — ECDSA calls this once per signature and verification. *)
+let mod_order_inverse c (a : Bignum.t) =
+  let a = Bignum.rem a c.n in
+  if Bignum.is_zero a then invalid_arg "Ec.mod_order_inverse: zero";
+  Bignum.pow_mod_ctx (Lazy.force c.n_mont) a (Bignum.sub c.n Bignum.two)
+
+(* NIST P-256 (secp256r1) domain parameters; the test suite validates them
+   structurally (base point on curve, n * G = infinity, p and n prime). *)
+let p256 =
+  let p = Bignum.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
+  make_curve ~name:"secp256r1" ~p
+    ~a:(Bignum.sub_int p 3)
+    ~b:(Bignum.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+    ~gx:(Bignum.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+    ~gy:(Bignum.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+    ~n:(Bignum.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+    ~h:1
+
+let on_curve c = function
+  | Inf -> true
+  | Affine (x, y) ->
+      let fctx = c.fctx in
+      let xf = F.of_bignum fctx x and yf = F.of_bignum fctx y in
+      let lhs = F.sqr fctx yf in
+      let rhs = F.add fctx (F.mul fctx (F.sqr fctx xf) xf) (F.add fctx (F.mul fctx c.a xf) c.b) in
+      F.equal lhs rhs
+
 let add c p q = of_jac c (jac_add c (to_jac c p) (to_jac c q))
 let double c p = of_jac c (jac_double c (to_jac c p))
 
-let neg _c = function Inf -> Inf | Affine (x, y) -> Affine (x, y)
-[@@warning "-32"]
+let neg c = function
+  | Inf -> Inf
+  | Affine (_, y) as pt when Bignum.is_zero y -> pt (* 2-torsion: its own inverse *)
+  | Affine (x, y) -> Affine (x, Bignum.sub (curve_p c) y)
 
-let scalar_mult c k p =
-  if Bignum.is_zero k then Inf
-  else begin
-    let base = to_jac c p in
-    let acc = ref (jac_inf c) in
-    for i = Bignum.num_bits k - 1 downto 0 do
-      acc := jac_double c !acc;
-      if Bignum.test_bit k i then acc := jac_add c !acc base
-    done;
-    of_jac c !acc
-  end
+(* --- Seed-era reference kernel --------------------------------------------
+   The pre-optimization bit-at-a-time double-and-add, retained verbatim:
+   the property suite asserts the wNAF and comb paths agree with it, and
+   the bench harness reports speedups against it. Do not "optimize". *)
 
-let scalar_mult_base c k = scalar_mult c k (base_point c)
+module Reference = struct
+  let scalar_mult c k p =
+    if Bignum.is_zero k then Inf
+    else begin
+      let base = to_jac c p in
+      let acc = ref (jac_inf c) in
+      for i = Bignum.num_bits k - 1 downto 0 do
+        acc := jac_double c !acc;
+        if Bignum.test_bit k i then acc := jac_add c !acc base
+      done;
+      of_jac c !acc
+    end
+
+  let scalar_mult_base c k = scalar_mult c k (base_point c)
+end
 
 (* --- Small-curve generation ----------------------------------------------
    For p = 4q - 1 with p, q prime (so p = 3 mod 4), the curve
@@ -198,6 +393,7 @@ let generate_small_uncached ~bits ~seed =
   let sqrt_exp = Bignum.shift_right (Bignum.add_int p 1) 2 in
   let legendre_exp = Bignum.shift_right (Bignum.sub_int p 1) 1 in
   let curve_rhs xf = F.add fctx (F.mul fctx (F.sqr fctx xf) xf) xf in
+  let name = Printf.sprintf "sim-ss%d(%s)" bits seed in
   let rec find_g () =
     let x = Drbg.bignum_below rng p in
     let xf = F.of_bignum fctx x in
@@ -208,14 +404,14 @@ let generate_small_uncached ~bits ~seed =
       let yf = F.pow fctx z sqrt_exp in
       let y = F.to_bignum fctx yf in
       let c =
-        make_curve
-          ~name:(Printf.sprintf "sim-ss%d(%s)" bits seed)
-          ~p ~a:Bignum.one ~b:Bignum.zero ~gx:(F.to_bignum fctx xf) ~gy:y ~n:q ~h:4
+        make_curve ~name ~p ~a:Bignum.one ~b:Bignum.zero ~gx:(F.to_bignum fctx xf) ~gy:y ~n:q
+          ~h:4
       in
-      (* Clear the cofactor to land in the order-q subgroup. *)
+      (* Clear the cofactor to land in the order-q subgroup. Rebuild the
+         curve around the new base point so the fixed-base comb matches. *)
       match scalar_mult c (Bignum.of_int 4) (Affine (F.to_bignum fctx xf, y)) with
       | Inf -> find_g ()
-      | Affine (gx, gy) -> { c with gx; gy }
+      | Affine (gx, gy) -> make_curve ~name ~p ~a:Bignum.one ~b:Bignum.zero ~gx ~gy ~n:q ~h:4
     end
   in
   find_g ()

@@ -39,8 +39,31 @@ val mod_order_inverse : curve -> Bignum.t -> Bignum.t
 val on_curve : curve -> point -> bool
 val add : curve -> point -> point -> point
 val double : curve -> point -> point
+
+val neg : curve -> point -> point
+(** The additive inverse: [Affine (x, p − y)] (points with [y = 0] are
+    their own inverse, as is infinity). *)
+
 val scalar_mult : curve -> Bignum.t -> point -> point
+(** Width-w NAF double-and-add, entirely in Jacobian coordinates with a
+    single affine conversion at the end. *)
+
 val scalar_mult_base : curve -> Bignum.t -> point
+(** Multiplication of the base point via the curve's fixed-base comb
+    (built once in [make_curve]); scalars wider than the comb covers fall
+    back to {!scalar_mult}. *)
+
+val scalar_mult_base_add : curve -> Bignum.t -> Bignum.t -> point -> point
+(** [scalar_mult_base_add c u1 u2 q] is [u1·G + u2·Q] with the sum formed
+    in Jacobian coordinates, saving an affine conversion (a field
+    inversion) per ECDSA verification. *)
+
+(** Seed-era bit-at-a-time double-and-add, retained verbatim as the
+    semantic baseline for the property suite and the bench harness. *)
+module Reference : sig
+  val scalar_mult : curve -> Bignum.t -> point -> point
+  val scalar_mult_base : curve -> Bignum.t -> point
+end
 
 type keypair
 

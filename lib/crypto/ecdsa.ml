@@ -50,7 +50,7 @@ let verify ~curve ~pub ~msg { r; s } =
   let sinv = Ec.mod_order_inverse curve s in
   let u1 = B.rem (B.mul z sinv) n in
   let u2 = B.rem (B.mul r sinv) n in
-  match Ec.add curve (Ec.scalar_mult_base curve u1) (Ec.scalar_mult curve u2 pub) with
+  match Ec.scalar_mult_base_add curve u1 u2 pub with
   | Ec.Inf -> false
   | Ec.Affine (x, _) -> B.equal (B.rem x n) r
 

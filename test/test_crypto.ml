@@ -168,6 +168,58 @@ let test_bignum_bytes () =
   Alcotest.check_raises "too wide" (Invalid_argument "Bignum.to_bytes_be: value too wide")
     (fun () -> ignore (B.to_bytes_be ~len:1 v))
 
+let test_bignum_to_int_boundary () =
+  (* max_int itself is representable; the first value past it is not. *)
+  let maxi = B.sub_int (B.shift_left B.one 62) 1 in
+  (* 2^62 - 1 = max_int on 64-bit OCaml *)
+  Alcotest.(check int) "native max_int" max_int ((1 lsl 62) - 1);
+  Alcotest.(check (option int)) "max_int" (Some max_int) (B.to_int_opt maxi);
+  Alcotest.(check (option int)) "max_int - 1" (Some (max_int - 1)) (B.to_int_opt (B.sub_int maxi 1));
+  Alcotest.(check (option int)) "max_int + 1" None (B.to_int_opt (B.add_int maxi 1));
+  Alcotest.(check (option int)) "2^62" None (B.to_int_opt (B.shift_left B.one 62));
+  Alcotest.(check (option int)) "2^100" None (B.to_int_opt (B.shift_left B.one 100));
+  (* Values whose top limb alone passes but whose shifted total overflows. *)
+  Alcotest.(check (option int)) "2^61" (Some (1 lsl 61)) (B.to_int_opt (B.shift_left B.one 61));
+  Alcotest.(check (option int)) "zero" (Some 0) (B.to_int_opt B.zero)
+
+let test_pow_mod_edge_exponents () =
+  let m = B.sub_int (B.shift_left B.one 127) 1 in
+  let ctx = B.mont_of_modulus m in
+  let a = bn "987654321234567898765432123456789" in
+  let check_e label e =
+    Alcotest.(check string) label
+      (B.to_decimal (B.Reference.pow_mod_ctx ctx a e))
+      (B.to_decimal (B.pow_mod_ctx ctx a e))
+  in
+  check_e "e = 0" B.zero;
+  check_e "e = 1" B.one;
+  check_e "e = 2" B.two;
+  check_e "e = m - 1" (B.sub_int m 1);
+  (* Long zero runs: a window walker must not mis-skip them. *)
+  check_e "e = 2^96" (B.shift_left B.one 96);
+  check_e "e = 2^96 + 1" (B.add_int (B.shift_left B.one 96) 1);
+  check_e "e = 2^126 + 2^5" (B.add (B.shift_left B.one 126) (B.of_int 32))
+
+let test_pow_mod_fixed_base () =
+  let m = B.sub_int (B.shift_left B.one 127) 1 in
+  let ctx = B.mont_of_modulus m in
+  let g = B.of_int 4 in
+  let fb = B.fixed_base ctx g ~max_bits:64 in
+  let check_e label e =
+    Alcotest.(check string) label
+      (B.to_decimal (B.pow_mod_ctx ctx g e))
+      (B.to_decimal (B.pow_mod_fixed fb e))
+  in
+  check_e "e = 0" B.zero;
+  check_e "e = 1" B.one;
+  check_e "e = 2^63 + 17" (B.add_int (B.shift_left B.one 63) 17);
+  (* Wider than the table: falls back to the generic path. *)
+  check_e "e = 2^90 + 3" (B.add_int (B.shift_left B.one 90) 3);
+  (* The cache returns the same table for the same (base, geometry). *)
+  let fb' = B.fixed_base ctx g ~max_bits:64 in
+  check_e "cached table" (B.of_int 123456789);
+  ignore fb'
+
 (* qcheck generators: random bignums via decimal strings of bounded size. *)
 let gen_bignum =
   QCheck2.Gen.(
@@ -216,6 +268,16 @@ let prop_pow_mod_matches_naive =
       let m = if m mod 2 = 0 then m + 1 else m in
       let rec naive acc k = if k = 0 then acc else naive (acc * a mod m) (k - 1) in
       B.to_int_exn (B.pow_mod (B.of_int a) (B.of_int e) (B.of_int m)) = naive 1 e)
+
+(* The windowed Montgomery exponentiation agrees with the retained seed-era
+   square-and-multiply kernel on random (a, e, m) with odd m. *)
+let prop_pow_mod_matches_reference =
+  QCheck2.Test.make ~name:"windowed pow_mod matches seed reference" ~count:150
+    QCheck2.Gen.(triple gen_bignum gen_bignum gen_bignum)
+    (fun (a, e, m) ->
+      let m = B.add_int (if B.is_even m then B.add_int m 1 else m) 2 in
+      (* odd, >= 3 *)
+      B.equal (B.pow_mod a e m) (B.Reference.pow_mod a e m))
 
 (* Montgomery field ops agree with direct modular arithmetic. *)
 let prop_field_ops =
@@ -411,6 +473,66 @@ let test_ec_group_laws () =
   Alcotest.(check bool) "matches 10G" true (lhs = Ec.scalar_mult c (B.of_int 10) g);
   Alcotest.(check bool) "identity" true (Ec.add c g Ec.Inf = g)
 
+let test_ec_neg () =
+  List.iter
+    (fun c ->
+      let label = Ec.curve_name c in
+      let g = Ec.base_point c in
+      let ng = Ec.neg c g in
+      Alcotest.(check bool) (label ^ ": neg G on curve") true (Ec.on_curve c ng);
+      Alcotest.(check bool) (label ^ ": G + neg G = Inf") true (Ec.add c g ng = Ec.Inf);
+      Alcotest.(check bool) (label ^ ": neg is an involution") true (Ec.neg c ng = g);
+      Alcotest.(check bool) (label ^ ": neg Inf = Inf") true (Ec.neg c Ec.Inf = Ec.Inf);
+      (* neg (kG) = (n - k) G *)
+      let k = B.of_int 7 in
+      let p = Ec.scalar_mult_base c k in
+      Alcotest.(check bool) (label ^ ": neg 7G = (n-7)G") true
+        (Ec.neg c p = Ec.scalar_mult_base c (B.sub (Ec.curve_order c) k)))
+    [ small_curve; Ec.p256 ]
+
+let test_ec_scalar_mult_edge_cases () =
+  let c = small_curve in
+  let n = Ec.curve_order c in
+  let g = Ec.base_point c in
+  let scalars =
+    [
+      ("0", B.zero);
+      ("1", B.one);
+      ("2", B.two);
+      ("n - 1", B.sub_int n 1);
+      ("n", n);
+      ("n + 1", B.add_int n 1);
+      ("2^40 (long zero run)", B.shift_left B.one 40);
+      ("2^40 + 1", B.add_int (B.shift_left B.one 40) 1);
+      ("2n + 3", B.add_int (B.shift_left n 1) 3);
+    ]
+  in
+  List.iter
+    (fun (label, k) ->
+      let expect = Ec.Reference.scalar_mult c k g in
+      Alcotest.(check bool) ("scalar_mult " ^ label) true (Ec.scalar_mult c k g = expect);
+      Alcotest.(check bool) ("scalar_mult_base " ^ label) true (Ec.scalar_mult_base c k = expect))
+    scalars
+
+(* wNAF scalar_mult and the fixed-base comb agree with the retained seed-era
+   double-and-add kernel on random scalars, including beyond the order. *)
+let prop_scalar_mult_matches_reference =
+  QCheck2.Test.make ~name:"wNAF/comb scalar_mult matches seed reference" ~count:60 gen_bignum
+    (fun k ->
+      let c = small_curve in
+      let expect = Ec.Reference.scalar_mult c k (Ec.base_point c) in
+      Ec.scalar_mult c k (Ec.base_point c) = expect && Ec.scalar_mult_base c k = expect)
+
+(* u1*G + u2*Q formed in Jacobian coordinates matches the affine composition. *)
+let prop_scalar_mult_base_add =
+  QCheck2.Test.make ~name:"scalar_mult_base_add matches add of parts" ~count:40
+    QCheck2.Gen.(triple gen_bignum gen_bignum (int_range 2 1000))
+    (fun (u1, u2, kq) ->
+      let c = small_curve in
+      let q = Ec.Reference.scalar_mult_base c (B.of_int kq) in
+      Ec.scalar_mult_base_add c u1 u2 q
+      = Ec.add c (Ec.Reference.scalar_mult_base c u1) (Ec.Reference.scalar_mult c u2 q))
+
 let test_ec_agreement () =
   let rng = Crypto.Drbg.create ~seed:"ec-agree" in
   for i = 1 to 10 do
@@ -581,6 +703,9 @@ let () =
           Alcotest.test_case "pow_mod" `Quick test_bignum_pow_mod;
           Alcotest.test_case "mod inverse" `Quick test_bignum_mod_inverse;
           Alcotest.test_case "byte conversions" `Quick test_bignum_bytes;
+          Alcotest.test_case "to_int boundary" `Quick test_bignum_to_int_boundary;
+          Alcotest.test_case "pow_mod edge exponents" `Quick test_pow_mod_edge_exponents;
+          Alcotest.test_case "fixed-base exponentiation" `Quick test_pow_mod_fixed_base;
         ] );
       qsuite "bignum-properties"
         [
@@ -591,6 +716,7 @@ let () =
           prop_bytes_roundtrip;
           prop_shift;
           prop_pow_mod_matches_naive;
+          prop_pow_mod_matches_reference;
           prop_field_ops;
         ];
       ( "drbg",
@@ -615,10 +741,13 @@ let () =
           Alcotest.test_case "p256 structure" `Slow test_p256_structure;
           Alcotest.test_case "small curve structure" `Quick test_small_curve_structure;
           Alcotest.test_case "group laws" `Quick test_ec_group_laws;
+          Alcotest.test_case "negation" `Quick test_ec_neg;
+          Alcotest.test_case "scalar mult edge cases" `Quick test_ec_scalar_mult_edge_cases;
           Alcotest.test_case "agreement" `Quick test_ec_agreement;
           Alcotest.test_case "off-curve rejection" `Quick test_ec_rejects_off_curve;
           Alcotest.test_case "p256 agreement" `Slow test_p256_agreement;
         ] );
+      qsuite "ec-properties" [ prop_scalar_mult_matches_reference; prop_scalar_mult_base_add ];
       ( "ecdsa",
         [
           Alcotest.test_case "sign/verify" `Quick test_ecdsa_roundtrip;

@@ -1,0 +1,48 @@
+(* Byte-identity guard for the crypto kernels.
+
+   The optimized kernels (windowed Montgomery exponentiation, wNAF and
+   fixed-base comb scalar multiplication) must be *observably equivalent*
+   to the seed-era ones: same public values, same handshake bytes, same
+   campaign CSV. This test replays a small fault-free campaign and asserts
+   the observation CSV is byte-for-byte identical to a golden file that
+   was produced by the pre-optimization build (see golden/README.md). A
+   kernel change that alters any measured byte fails here, loudly, before
+   it can silently shift results. *)
+
+(* Under `dune runtest` the glob_files dep in test/dune copies the golden
+   file next to this executable; resolve it from there so the test also
+   works when cwd is the workspace root. *)
+let golden_path name =
+  let beside_exe = Filename.concat (Filename.dirname Sys.executable_name) (Filename.concat "golden" name) in
+  if Sys.file_exists beside_exe then beside_exe else Filename.concat "golden" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_campaign_byte_identity () =
+  let config =
+    { Simnet.World.default_config with n_domains = 1500; seed = "golden-kernels" }
+  in
+  let world = Simnet.World.create ~config () in
+  let obs = Scanner.Daily_scan.run world ~days:2 () in
+  let tmp = Filename.temp_file "tlsharm-golden" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Scanner.Daily_scan.save obs tmp;
+      let got = read_file tmp in
+      let want = read_file (golden_path "campaign_seed.csv") in
+      (* Compare lengths first for a readable failure; the string check
+         would drown the terminal with 300 KB of CSV. *)
+      Alcotest.(check int) "csv length" (String.length want) (String.length got);
+      Alcotest.(check bool) "csv bytes identical" true (String.equal want got))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "campaign",
+        [ Alcotest.test_case "byte-identical to seed-era kernels" `Quick test_campaign_byte_identity ] );
+    ]
