@@ -227,17 +227,21 @@ let to_list = function List l -> Some l | _ -> None
 let to_float = function Num f -> Some f | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 
-(* --- Files ---------------------------------------------------------------- *)
+(* --- Files ----------------------------------------------------------------
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+   Baselines are written through the durable layer (atomic rename plus a
+   checksummed footer) so a crash mid-save cannot corrupt the committed
+   baseline a regression gate compares against. [read_any] still accepts
+   headerless files, keeping pre-durable baselines loadable. *)
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+let load path =
+  if Sys.file_exists path then
+    match Durable.Atomic_io.read_any path with
+    | Ok contents -> Some (of_string contents)
+    | Error e ->
+        Printf.eprintf "bench: ignoring baseline %s: %s\n%!" path
+          (Durable.Atomic_io.error_to_string ~what:"baseline" e);
+        None
+  else None
 
-let load path = if Sys.file_exists path then Some (of_string (read_file path)) else None
-let save path v = write_file path (to_string v)
+let save path v = Durable.Atomic_io.write path (to_string v)

@@ -48,6 +48,7 @@ let study_config () =
        entry below exercises injection explicitly. *)
     fault_profile = Faults.Profile.none;
     retry = Faults.Retry.default;
+    checkpoint = None;
   }
 
 let study = lazy (Tlsharm.Study.create ~config:(study_config ()) ())

@@ -92,6 +92,32 @@ let fault_setup profile retries deadline =
       in
       Ok (p, retry)
 
+(* Argument validation: sizing mistakes should come back as one-line
+   usage errors with a nonzero exit, not as an [Invalid_argument]
+   backtrace from deep inside the world builder. *)
+let validate_sizes ~domains ~days ~jobs =
+  if domains < Simnet.World.min_domains then
+    Error
+      (Printf.sprintf "--domains must be at least %d (got %d)" Simnet.World.min_domains domains)
+  else if days < 1 then Error (Printf.sprintf "--days must be at least 1 (got %d)" days)
+  else if jobs < 1 then Error (Printf.sprintf "--jobs must be at least 1 (got %d)" jobs)
+  else Ok ()
+
+(* Last-resort net for exceptions no specific validation anticipated
+   (filesystem errors, corrupt inputs, a checkpoint determinism
+   violation): render one line and exit nonzero instead of dumping a
+   backtrace. *)
+let guard f =
+  try f () with
+  | Durable.Checkpoint.Mismatch m -> `Error (false, "checkpoint mismatch: " ^ m)
+  | Sys_error e -> `Error (false, e)
+  | Invalid_argument e | Failure e -> `Error (false, e)
+  | Unix.Unix_error (err, fn, arg) ->
+      `Error
+        ( false,
+          Printf.sprintf "%s: %s%s" fn (Unix.error_message err)
+            (if arg = "" then "" else " (" ^ arg ^ ")") )
+
 let world_config ~domains ~seed =
   { Simnet.World.default_config with Simnet.World.n_domains = domains; seed }
 
@@ -103,11 +129,15 @@ let study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile ~retry =
     verbose;
     fault_profile;
     retry;
+    checkpoint = None;
   }
 
 (* --- world-info ------------------------------------------------------------------ *)
 
 let world_info domains seed =
+  match validate_sizes ~domains ~days:1 ~jobs:1 with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let ds = Simnet.World.domains world in
   let wsum f =
@@ -147,9 +177,13 @@ let world_info_cmd =
 (* --- scan ---------------------------------------------------------------------------- *)
 
 let scan domains seed mode out fault_profile retries deadline =
+  match validate_sizes ~domains ~days:1 ~jobs:1 with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   match fault_setup fault_profile retries deadline with
   | Error e -> `Error (false, e)
   | Ok (profile, retry) ->
+  guard @@ fun () ->
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let injector =
     if profile.Faults.Profile.name = "none" then None
@@ -202,9 +236,13 @@ let scan_cmd =
 (* --- reproduce / experiment ----------------------------------------------------------- *)
 
 let run_experiments ids domains days seed jobs verbose fault_profile retries deadline =
+  match validate_sizes ~domains ~days ~jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   match fault_setup fault_profile retries deadline with
   | Error e -> `Error (false, e)
   | Ok (profile, retry) ->
+  guard @@ fun () ->
   let config =
     study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile:profile ~retry
   in
@@ -257,10 +295,10 @@ let reproduce_cmd =
 
 (* --- campaign / analyze -------------------------------------------------------------------- *)
 
-let campaign domains days seed jobs out fault_profile retries deadline =
-  match fault_setup fault_profile retries deadline with
-  | Error e -> `Error (false, e)
-  | Ok (profile, retry) ->
+(* The campaign runner shared by [campaign] and [resume]: both must
+   execute the identical code path for the resumed archive to come out
+   byte-identical to an uninterrupted run. *)
+let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint () =
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let injector =
     if profile.Faults.Profile.name = "none" then None
@@ -269,8 +307,8 @@ let campaign domains days seed jobs out fault_profile retries deadline =
   let funnel = Faults.Funnel.create () in
   let t =
     if jobs > 1 then
-      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel world ~days ()
-    else Scanner.Daily_scan.run ?injector ~retry ~funnel world ~days ()
+      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel ?checkpoint world ~days ()
+    else Scanner.Daily_scan.run ?injector ~retry ~funnel ?checkpoint world ~days ()
   in
   Scanner.Daily_scan.save t out;
   Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
@@ -284,6 +322,54 @@ let campaign domains days seed jobs out fault_profile retries deadline =
          funnel);
   `Ok ()
 
+(* The manifest pins everything [resume] needs to rebuild the identical
+   run: world parameters, campaign shape, the resolved retry policy
+   (not the raw flags, so flag defaults can change without orphaning old
+   checkpoint directories) and the output path. *)
+let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry.policy) ~out =
+  [
+    ("mode", "campaign");
+    ("seed", seed);
+    ("n_domains", string_of_int domains);
+    ("days", string_of_int days);
+    ("jobs", string_of_int jobs);
+    ("fault_profile", profile.Faults.Profile.name);
+    ("retries", string_of_int retry.Faults.Retry.max_attempts);
+    ("deadline", string_of_int retry.Faults.Retry.deadline);
+    ("output", out);
+  ]
+
+let campaign domains days seed jobs out fault_profile retries deadline checkpoint_dir =
+  match validate_sizes ~domains ~days ~jobs with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
+  match fault_setup fault_profile retries deadline with
+  | Error e -> `Error (false, e)
+  | Ok (profile, retry) -> (
+      let checkpoint =
+        match checkpoint_dir with
+        | None -> Ok None
+        | Some dir ->
+            Result.map Option.some
+              (Durable.Checkpoint.init ~dir
+                 ~manifest:(campaign_manifest ~domains ~days ~seed ~jobs ~profile ~retry ~out))
+      in
+      match checkpoint with
+      | Error e -> `Error (false, e)
+      | Ok checkpoint ->
+          guard (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint)))
+
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint directory for crash recovery: every completed campaign day is snapshotted \
+           there (atomic, checksummed), and $(b,tlsharm resume) $(i,DIR) continues a killed \
+           campaign from the last valid snapshot — the final archive is byte-identical to an \
+           uninterrupted run.")
+
 let campaign_cmd =
   let out =
     Arg.(
@@ -296,9 +382,91 @@ let campaign_cmd =
     Term.(
       ret
         (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out $ fault_profile_arg
-       $ retries_arg $ probe_deadline_arg))
+       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg))
+
+(* --- resume -------------------------------------------------------------------------------- *)
+
+let resume dir jobs_override =
+  match Durable.Checkpoint.attach ~dir with
+  | Error e -> `Error (false, e)
+  | Ok store -> (
+      match Durable.Checkpoint.manifest store with
+      | Error e -> `Error (false, dir ^ ": " ^ e)
+      | Ok kvs -> (
+          let field k = List.assoc_opt k kvs in
+          let int_field k = Option.bind (field k) int_of_string_opt in
+          match
+            ( field "mode",
+              field "seed",
+              int_field "n_domains",
+              int_field "days",
+              int_field "jobs",
+              field "fault_profile",
+              int_field "retries",
+              int_field "deadline",
+              field "output" )
+          with
+          | Some "campaign", Some seed, Some domains, Some days, Some jobs, Some profile,
+            Some retries, Some deadline, Some out -> (
+              match fault_setup profile (Some retries) (Some deadline) with
+              | Error e -> `Error (false, e)
+              | Ok (profile, retry) -> (
+                  (* A serial and a parallel campaign follow different
+                     probe-seed schedules, so resuming across that line
+                     can never reproduce the original bytes. Within the
+                     parallel regime any worker count yields identical
+                     results, so a different [jobs > 1] is fine. *)
+                  let jobs_resolved =
+                    match jobs_override with
+                    | None -> Ok jobs
+                    | Some j when j < 1 ->
+                        Error (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
+                    | Some j when j > 1 = (jobs > 1) -> Ok j
+                    | Some j ->
+                        Error
+                          (Printf.sprintf
+                             "cannot resume a %s campaign with --jobs %d: serial and parallel \
+                              campaigns follow different probe-seed schedules"
+                             (if jobs > 1 then "parallel" else "serial")
+                             j)
+                  in
+                  match jobs_resolved with
+                  | Error e -> `Error (false, e)
+                  | Ok jobs ->
+                      guard
+                        (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry
+                           ~checkpoint:(Some store))))
+          | Some mode, _, _, _, _, _, _, _, _ when mode <> "campaign" ->
+              `Error (false, Printf.sprintf "%s: cannot resume mode %S" dir mode)
+          | _ -> `Error (false, dir ^ ": manifest is missing campaign fields")))
+
+let resume_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Checkpoint directory of the interrupted campaign.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Override the recorded worker count. Serial (1) and parallel (> 1) campaigns cannot \
+             be converted into each other; within the parallel regime any N reproduces the same \
+             bytes.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume an interrupted campaign from its checkpoint directory; the final archive is \
+          byte-identical to an uninterrupted run. Falls back to the last valid snapshot if the \
+          newest is corrupt.")
+    Term.(ret (const resume $ dir $ jobs))
 
 let analyze path =
+  guard @@ fun () ->
   match Scanner.Daily_scan.load path with
   | Error e -> `Error (false, e)
   | Ok campaign ->
@@ -336,6 +504,9 @@ let analyze_cmd =
 (* --- posture --------------------------------------------------------------------------- *)
 
 let posture domains seed targets =
+  match validate_sizes ~domains ~days:1 ~jobs:1 with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let targets =
     match targets with
@@ -450,4 +621,4 @@ let () =
   let doc = "Measuring the security harm of TLS crypto shortcuts (IMC 2016), reproduced." in
   let info = Cmd.info "tlsharm" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ world_info_cmd; scan_cmd; reproduce_cmd; experiment_cmd; campaign_cmd; analyze_cmd; posture_cmd; attack_cmd ]))
+    (Cmd.eval (Cmd.group info [ world_info_cmd; scan_cmd; reproduce_cmd; experiment_cmd; campaign_cmd; resume_cmd; analyze_cmd; posture_cmd; attack_cmd ]))

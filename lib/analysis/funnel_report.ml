@@ -48,7 +48,7 @@ let render ?(title = "Measurement-loss funnel (per scan day)") funnel =
              (Report.fmt_pct (float_of_int t.Faults.Funnel.t_successes /. probes))
              (Faults.Funnel.lost t)
              (Report.fmt_pct (float_of_int (Faults.Funnel.lost t) /. probes)));
-        match t.Faults.Funnel.t_losses with
+        (match t.Faults.Funnel.t_losses with
         | [] -> ()
         | losses ->
             Buffer.add_string buf "loss causes: ";
@@ -57,7 +57,18 @@ let render ?(title = "Measurement-loss funnel (per scan day)") funnel =
                  (List.map
                     (fun (f, n) -> Printf.sprintf "%s %d" (Faults.Fault.to_string f) n)
                     losses));
-            Buffer.add_char buf '\n'
+            Buffer.add_char buf '\n');
+        (* Supervised worker failures get their own row: probes booked
+           under [Worker_crash] were never attempted at all (a shard
+           exhausted its restarts and was abandoned), which is a
+           different kind of loss than any per-connection fault and the
+           signature of a degraded — but completed — campaign. *)
+        match List.assoc_opt Faults.Fault.Worker_crash t.Faults.Funnel.t_losses with
+        | Some n when n > 0 ->
+            Buffer.add_string buf
+              (Printf.sprintf "supervised shard failures: %d probes abandoned (%s of probes)\n" n
+                 (Report.fmt_pct (float_of_int n /. probes)))
+        | _ -> ()
       end);
   Buffer.add_string buf
     "\nThe paper's Section 3 scans lose a small fraction of each day's probes to\n\

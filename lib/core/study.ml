@@ -25,6 +25,10 @@ type config = {
   verbose : bool;
   fault_profile : Faults.Profile.t; (* [Profile.none] = legacy fault-free network *)
   retry : Faults.Retry.policy;
+  checkpoint : Durable.Checkpoint.t option;
+      (* campaign crash-recovery store; the pre-campaign point
+         experiments are cheap relative to the nine-week campaign and
+         re-run deterministically on resume *)
 }
 
 let default_config =
@@ -37,6 +41,7 @@ let default_config =
        no injector is built, probes make exactly one attempt. *)
     fault_profile = Faults.Profile.none;
     retry = Faults.Retry.default;
+    checkpoint = None;
   }
 
 type t = {
@@ -220,12 +225,13 @@ let campaign t =
         if t.config.jobs > 1 then begin
           log t "study: daily campaign (%d days, %d jobs)" t.config.campaign_days t.config.jobs;
           Scanner.Parallel_campaign.run ~jobs:t.config.jobs ?injector:t.injector
-            ~retry:t.config.retry ~funnel:t.funnel t.world ~days:t.config.campaign_days ()
+            ~retry:t.config.retry ~funnel:t.funnel ?checkpoint:t.config.checkpoint t.world
+            ~days:t.config.campaign_days ()
         end
         else begin
           log t "study: daily campaign (%d days)" t.config.campaign_days;
           Scanner.Daily_scan.run ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
-            t.world ~days:t.config.campaign_days
+            ?checkpoint:t.config.checkpoint t.world ~days:t.config.campaign_days
             ~progress:(fun day -> log t "study: campaign day %d" day)
             ()
         end

@@ -38,6 +38,15 @@ let generate t n =
 
 let fork t ~label = create ~seed:(generate t 32 ^ "|" ^ label)
 
+(* The full generator state is just (K, V); exposing it lets campaign
+   checkpoints snapshot and restore the exact position in a stream. *)
+let state t = (t.k, t.v)
+
+let restore ~state:(k, v) =
+  if String.length k <> 32 || String.length v <> 32 then
+    invalid_arg "Drbg.restore: K and V must be 32 bytes";
+  { k; v }
+
 (* --- Convenience draws --------------------------------------------------- *)
 
 let byte t = Char.code (generate t 1).[0]

@@ -17,6 +17,15 @@ val fork : t -> label:string -> t
     produce independent streams regardless of later draws from the
     parent. *)
 
+val state : t -> string * string
+(** The generator's full internal state [(K, V)], two 32-byte strings.
+    Snapshot for campaign checkpoints. *)
+
+val restore : state:string * string -> t
+(** Rebuild a generator from a {!state} snapshot; the restored generator
+    continues the stream exactly where the snapshot was taken. Raises
+    [Invalid_argument] unless both components are 32 bytes. *)
+
 val byte : t -> int
 val int_below : t -> int -> int
 (** Unbiased draw in [\[0, n)]. *)

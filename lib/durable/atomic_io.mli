@@ -1,0 +1,55 @@
+(** Atomic, checksummed file persistence.
+
+    Every artifact the project archives (campaign CSVs, checkpoint day
+    files, bench JSON) is written through this module: content goes to a
+    same-directory temp file, is fsynced, and is renamed over the
+    destination, so readers only ever see a complete old file or a
+    complete new file. The written file is framed by a header line
+    ([#tlsharm-durable v1]) and a footer line carrying the content byte
+    count plus a truncated SHA-256 tag per 64 KiB block, which lets
+    {!read} detect truncation and name the byte offset of corruption. *)
+
+type error =
+  | Io of string  (** the underlying syscall failed (missing file, EACCES, …) *)
+  | Not_durable  (** no durable header: a legacy/foreign file *)
+  | Missing_footer of { actual_bytes : int }
+      (** durable header present but no checksum footer — the file was
+          truncated at or after [actual_bytes] content bytes *)
+  | Truncated of { expected_bytes : int; actual_bytes : int }
+      (** footer present but declares more content than the file holds *)
+  | Corrupt of { offset : int }
+      (** a checksum mismatch; [offset] is the content byte offset of the
+          first damaged block *)
+
+val error_to_string : ?what:string -> error -> string
+(** One-line rendering suitable for CLI error messages; [what] names the
+    file (defaults to ["file"]). *)
+
+val write : string -> string -> unit
+(** [write path content] atomically replaces [path] with a durable frame
+    around [content]. On any failure the temp file is removed and the
+    original [path] is untouched. *)
+
+type writer
+(** Incremental writer for large artifacts; obtained via {!with_writer}. *)
+
+val add : writer -> string -> unit
+
+val with_writer : string -> (writer -> unit) -> unit
+(** [with_writer path f] streams the content produced by [f] through the
+    same atomic + checksummed discipline as {!write} without holding the
+    whole artifact in memory twice. *)
+
+val read : string -> (string, error) result
+(** Read and verify a durable file, returning its content with the frame
+    stripped. Never raises on bad input; all failure modes are in
+    {!type:error}. *)
+
+val read_any : string -> (string, error) result
+(** Like {!read}, but a file without the durable header is returned
+    verbatim ([Ok raw]) instead of [Error Not_durable] — the
+    compatibility path for archives written before this module existed.
+    Files *with* the header are still fully verified. *)
+
+val block_size : int
+(** Content bytes covered by each checksum tag (64 KiB). *)

@@ -15,6 +15,7 @@ type t =
   | Truncated_record (* injected: the stream dies inside a record *)
   | Slow_handshake (* injected latency exceeded the probe deadline *)
   | Endpoint_outage (* whole-endpoint down-window (minutes to hours) *)
+  | Worker_crash (* a scanning worker died; the shard's probes were abandoned *)
   | Unknown (* archived row predating failure classification *)
 
 let all =
@@ -28,6 +29,7 @@ let all =
     Truncated_record;
     Slow_handshake;
     Endpoint_outage;
+    Worker_crash;
     Unknown;
   ]
 
@@ -42,6 +44,7 @@ let to_string = function
   | Truncated_record -> "truncated"
   | Slow_handshake -> "slow"
   | Endpoint_outage -> "outage"
+  | Worker_crash -> "crash"
   | Unknown -> "unknown"
 
 let of_string = function
@@ -54,6 +57,7 @@ let of_string = function
   | "truncated" -> Some Truncated_record
   | "slow" -> Some Slow_handshake
   | "outage" -> Some Endpoint_outage
+  | "crash" -> Some Worker_crash
   | "unknown" -> Some Unknown
   | _ -> None
 
@@ -64,4 +68,4 @@ let is_injected = function
   | Connect_timeout | Tcp_reset | Tls_alert | Truncated_record | Slow_handshake
   | Endpoint_outage ->
       true
-  | No_such_domain | No_https | Connection_refused | Unknown -> false
+  | No_such_domain | No_https | Connection_refused | Worker_crash | Unknown -> false

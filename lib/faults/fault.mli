@@ -11,6 +11,9 @@ type t =
   | Truncated_record
   | Slow_handshake  (** latency draw exceeded the probe deadline *)
   | Endpoint_outage  (** whole-endpoint down-window *)
+  | Worker_crash
+      (** a scanning worker exhausted its supervised restarts; the
+          shard's remaining probes were abandoned *)
   | Unknown  (** archived row predating failure classification *)
 
 val all : t list

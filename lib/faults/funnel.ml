@@ -128,3 +128,54 @@ let totals t =
 
 let lost tot =
   List.fold_left (fun acc (_, n) -> acc + n) 0 tot.t_losses
+
+(* --- Checkpoint serialization ------------------------------------------------ *)
+
+(* A funnel snapshot travels inside campaign checkpoints so a resumed
+   run reports the same loss table as an uninterrupted one. The format
+   is deterministic (days sorted, losses in [Fault.all] order) so equal
+   funnels always serialize to equal bytes. *)
+
+let to_lines t =
+  List.concat_map
+    (fun day ->
+      let c = Hashtbl.find t.days day in
+      Printf.sprintf "cell %d %d %d %d %d %d %d" day c.probes c.attempts c.retries c.successes
+        c.recovered c.slow
+      :: List.map
+           (fun (f, n) -> Printf.sprintf "loss %d %s %d" day (Fault.to_string f) n)
+           (sort_losses c.losses))
+    (days t)
+
+let of_lines lines =
+  let t = create () in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec go = function
+    | [] -> Ok t
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "cell"; day; probes; attempts; retries; successes; recovered; slow ] -> (
+            match
+              List.map int_of_string_opt [ day; probes; attempts; retries; successes; recovered; slow ]
+            with
+            | [ Some day; Some probes; Some attempts; Some retries; Some successes;
+                Some recovered; Some slow ] ->
+                let c = cell t ~day in
+                c.probes <- probes;
+                c.attempts <- attempts;
+                c.retries <- retries;
+                c.successes <- successes;
+                c.recovered <- recovered;
+                c.slow <- slow;
+                go rest
+            | _ -> err "funnel: bad cell line %S" line)
+        | [ "loss"; day; fault; n ] -> (
+            match (int_of_string_opt day, Fault.of_string fault, int_of_string_opt n) with
+            | Some day, Some f, Some n when n >= 0 ->
+                let c = cell t ~day in
+                c.losses <- c.losses @ [ (f, n) ];
+                go rest
+            | _ -> err "funnel: bad loss line %S" line)
+        | _ -> err "funnel: unrecognized line %S" line)
+  in
+  go lines

@@ -37,3 +37,11 @@ val totals : t -> totals
 
 val lost : totals -> int
 (** Total probes lost across all causes. *)
+
+val to_lines : t -> string list
+(** Deterministic line serialization for campaign checkpoints: equal
+    funnels produce equal lines (days ascending, losses in {!Fault.all}
+    order). *)
+
+val of_lines : string list -> (t, string) result
+(** Inverse of {!to_lines}; never raises on malformed input. *)

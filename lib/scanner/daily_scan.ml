@@ -70,19 +70,20 @@ let day_row ~(series : domain_series) (r : day_record) =
       opt_str r.dhe_value;
     ]
 
-(* Rows are batched through a [Buffer] and written in ~1MB slabs: a
-   10k-domain, 63-day campaign is ~630k rows, and per-row [output_string]
-   calls dominated save time on the seed. *)
+(* Rows are batched through a [Buffer] and handed to the durable writer
+   in ~1MB slabs: a 10k-domain, 63-day campaign is ~630k rows, and
+   per-row write calls dominated save time on the seed. *)
 let save_flush_threshold = 1 lsl 20
 
+(* The archive is written atomically (temp + fsync + rename) and framed
+   with a checksum footer, so a crash mid-save leaves the previous
+   archive intact and a damaged file is detected — with a byte offset —
+   at [load] time instead of silently skewing a re-analysis. *)
 let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Durable.Atomic_io.with_writer path (fun w ->
       let buf = Buffer.create (64 * 1024) in
       let flush () =
-        Buffer.output_buffer oc buf;
+        Durable.Atomic_io.add w (Buffer.contents buf);
         Buffer.clear buf
       in
       Printf.bprintf buf "#tlsharm-campaign,start_day=%d,n_days=%d\n" t.start_day t.n_days;
@@ -99,38 +100,50 @@ let save t path =
         t.series;
       flush ())
 
+(* Strip one trailing empty element left by a final newline; interior
+   empty lines still reach the row parser and are reported as bad rows. *)
+let content_lines content =
+  match List.rev (String.split_on_char '\n' content) with
+  | "" :: rest -> List.rev rest
+  | _ as all -> List.rev all
+
 let load path =
   let ( let* ) = Result.bind in
-  match open_in path with
-  | exception Sys_error e -> Error ("campaign: " ^ e)
-  | ic ->
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let* start_day, n_days =
-        match input_line ic with
-        | meta when String.length meta > 0 && meta.[0] = '#' -> (
-            match String.split_on_char ',' meta with
-            | [ _; sd; nd ] -> (
-                let field s =
-                  match String.split_on_char '=' s with
-                  | [ _; v ] -> int_of_string_opt v
-                  | _ -> None
-                in
-                match (field sd, field nd) with
-                | Some a, Some b when a >= 0 && b > 0 -> Ok (a, b)
-                | Some _, Some b when b <= 0 ->
-                    Error (Printf.sprintf "campaign: invalid n_days=%d in metadata" b)
-                | Some a, Some _ ->
-                    Error (Printf.sprintf "campaign: invalid start_day=%d in metadata" a)
-                | _ -> Error "campaign: bad metadata line")
-            | _ -> Error "campaign: bad metadata line")
-        | _ -> Error "campaign: missing metadata line"
-        | exception End_of_file -> Error "campaign: empty file"
-      in
-      let by_domain : (string, domain_series) Hashtbl.t = Hashtbl.create 4096 in
-      let order = ref [] in
-      let parse_row line =
+  (* [read_any]: durable archives are checksum-verified (truncation and
+     bit flips become errors naming the damage), while pre-durability
+     archives still load verbatim. *)
+  let* content =
+    Result.map_error
+      (Durable.Atomic_io.error_to_string ~what:"campaign")
+      (Durable.Atomic_io.read_any path)
+  in
+  let* meta, rows =
+    match content_lines content with
+    | [] -> Error "campaign: empty file"
+    | meta :: rows -> Ok (meta, rows)
+  in
+  let* start_day, n_days =
+    if String.length meta > 0 && meta.[0] = '#' then
+      match String.split_on_char ',' meta with
+      | [ _; sd; nd ] -> (
+          let field s =
+            match String.split_on_char '=' s with
+            | [ _; v ] -> int_of_string_opt v
+            | _ -> None
+          in
+          match (field sd, field nd) with
+          | Some a, Some b when a >= 0 && b > 0 -> Ok (a, b)
+          | Some _, Some b when b <= 0 ->
+              Error (Printf.sprintf "campaign: invalid n_days=%d in metadata" b)
+          | Some a, Some _ ->
+              Error (Printf.sprintf "campaign: invalid start_day=%d in metadata" a)
+          | _ -> Error "campaign: bad metadata line")
+      | _ -> Error "campaign: bad metadata line"
+    else Error "campaign: missing metadata line"
+  in
+  let by_domain : (string, domain_series) Hashtbl.t = Hashtbl.create 4096 in
+  let order = ref [] in
+  let parse_row line =
         match String.split_on_char ',' line with
         | [ domain; rank; weight; trusted; stable; day; present; ok; stek; hint; ecdhe; dhe_ok; dhe ]
           -> (
@@ -166,60 +179,311 @@ let load path =
             match row with None -> Error ("campaign: bad row: " ^ line) | Some r -> Ok r)
         | _ -> Error ("campaign: bad row: " ^ line)
       in
-      let rec read_rows first =
-        match input_line ic with
-        | exception End_of_file -> Ok ()
-        | line when first && String.equal line csv_header -> read_rows false
-        | line ->
-            let* domain, rank, weight, trusted, stable, record = parse_row line in
-            (* A day outside [0, n_days) means the file contradicts its
-               own metadata; dropping the row silently (as earlier
-               versions did) hides the corruption from the caller. *)
-            let* () =
-              if record.day >= 0 && record.day < n_days then Ok ()
-              else
-                Error
-                  (Printf.sprintf "campaign: day %d out of range [0,%d) in row: %s" record.day
-                     n_days line)
+  let rec read_rows first = function
+    | [] -> Ok ()
+    | line :: rest when first && String.equal line csv_header -> read_rows false rest
+    | line :: rest ->
+        let* domain, rank, weight, trusted, stable, record = parse_row line in
+        (* A day outside [0, n_days) means the file contradicts its
+           own metadata; dropping the row silently (as earlier
+           versions did) hides the corruption from the caller. *)
+        let* () =
+          if record.day >= 0 && record.day < n_days then Ok ()
+          else
+            Error
+              (Printf.sprintf "campaign: day %d out of range [0,%d) in row: %s" record.day
+                 n_days line)
+        in
+        (match Hashtbl.find_opt by_domain domain with
+        | Some series -> series.days.(record.day) <- record
+        | None ->
+            let days =
+              Array.init n_days (fun day ->
+                  {
+                    day;
+                    present = false;
+                    default_ok = false;
+                    stek_id = None;
+                    ticket_hint = None;
+                    ecdhe_value = None;
+                    dhe_ok = false;
+                    dhe_value = None;
+                  })
             in
-            (match Hashtbl.find_opt by_domain domain with
-            | Some series -> series.days.(record.day) <- record
-            | None ->
-                let days =
-                  Array.init n_days (fun day ->
-                      {
-                        day;
-                        present = false;
-                        default_ok = false;
-                        stek_id = None;
-                        ticket_hint = None;
-                        ecdhe_value = None;
-                        dhe_ok = false;
-                        dhe_value = None;
-                      })
-                in
-                days.(record.day) <- record;
-                Hashtbl.replace by_domain domain { domain; rank; weight; trusted; stable; days };
-                order := domain :: !order);
-            read_rows false
+            days.(record.day) <- record;
+            Hashtbl.replace by_domain domain { domain; rank; weight; trusted; stable; days };
+            order := domain :: !order);
+        read_rows false rest
+  in
+  let* () = read_rows true rows in
+  let series = List.rev !order |> List.map (Hashtbl.find by_domain) |> Array.of_list in
+  Ok { start_day; n_days; series }
+
+let blank_record day =
+  {
+    day;
+    present = false;
+    default_ok = false;
+    stek_id = None;
+    ticket_hint = None;
+    ecdhe_value = None;
+    dhe_ok = false;
+    dhe_value = None;
+  }
+
+(* --- Checkpoint codec --------------------------------------------------------
+
+   One snapshot per completed scan day per stream (a stream = the serial
+   campaign, or one shard of the parallel one). A snapshot captures
+   everything a resumed run must reproduce to stay byte-identical to an
+   uninterrupted one: the virtual clock, both probes' DRBG positions,
+   the default probe's trust cache, the stream's cumulative loss funnel,
+   and that day's observed rows for every member domain.
+
+   The codec is deterministic — equal state encodes to equal bytes —
+   which is what lets resume *verify* replayed days by comparing the
+   re-encoded snapshot against the recorded one, byte for byte. *)
+
+module Ckpt = struct
+  type snapshot = {
+    s_day : int;
+    s_clock : int;
+    s_trust : (string * bool) list;
+    s_funnel : Faults.Funnel.t;
+    s_rows : day_record option array;
+  }
+
+  let drbg_line label drbg =
+    let k, v = Crypto.Drbg.state drbg in
+    Printf.sprintf "%s=%s:%s" label (Wire.Hex.encode k) (Wire.Hex.encode v)
+
+  let opt_dash = function None -> "-" | Some s -> s
+
+  (* The per-day values are exactly the persisted CSV columns, so the
+     snapshot-restore path can rebuild the archive without scanning. *)
+  let row_line = function
+    | None -> "0"
+    | Some r ->
+        String.concat ","
+          [
+            "1";
+            string_of_bool r.default_ok;
+            opt_dash r.stek_id;
+            (match r.ticket_hint with None -> "-" | Some h -> string_of_int h);
+            opt_dash r.ecdhe_value;
+            string_of_bool r.dhe_ok;
+            opt_dash r.dhe_value;
+          ]
+
+  let encode ~day ~clock ~(default_probe : Probe.t) ~(dhe_probe : Probe.t) ~funnel
+      ~(rows : day_record option array) =
+    let b = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+    line "day=%d" day;
+    line "clock=%d" (Simnet.Clock.now clock);
+    line "%s" (drbg_line "drbg-default" (Tls.Client.rng default_probe.Probe.client));
+    line "%s" (drbg_line "drbg-dhe" (Tls.Client.rng dhe_probe.Probe.client));
+    let trust =
+      Hashtbl.fold (fun d v acc -> (d, v) :: acc) default_probe.Probe.trust_cache []
+      |> List.sort compare
+    in
+    line "trust=%d" (List.length trust);
+    List.iter (fun (d, v) -> line "%s %b" d v) trust;
+    let flines = Faults.Funnel.to_lines funnel in
+    line "funnel=%d" (List.length flines);
+    List.iter (fun l -> line "%s" l) flines;
+    line "rows=%d" (Array.length rows);
+    Array.iter (fun r -> line "%s" (row_line r)) rows;
+    Buffer.contents b
+
+  let parse_row ~day l =
+    if l = "0" then Ok None
+    else
+      match String.split_on_char ',' l with
+      | [ "1"; ok; stek; hint; ecdhe; dhe_ok; dhe ] -> (
+          let undash s = if s = "-" then None else Some s in
+          match (bool_of_string_opt ok, bool_of_string_opt dhe_ok) with
+          | Some default_ok, Some dhe_ok -> (
+              match if hint = "-" then Some None else Option.map Option.some (int_of_string_opt hint) with
+              | Some ticket_hint ->
+                  Ok
+                    (Some
+                       {
+                         day;
+                         present = true;
+                         default_ok;
+                         stek_id = undash stek;
+                         ticket_hint;
+                         ecdhe_value = undash ecdhe;
+                         dhe_ok;
+                         dhe_value = undash dhe;
+                       })
+              | None -> Error (Printf.sprintf "checkpoint: bad ticket hint in row %S" l))
+          | _ -> Error (Printf.sprintf "checkpoint: bad row %S" l))
+      | _ -> Error (Printf.sprintf "checkpoint: bad row %S" l)
+
+  (* Strict decode: every section length must match, DRBG states must be
+     64 valid hex bytes, and nothing may trail the last row. Any slack
+     would let a damaged-but-checksum-valid file (or a file from a
+     different world size) slip into the resume path. *)
+  let decode ~members payload =
+    let ( let* ) = Result.bind in
+    let err fmt = Printf.ksprintf (fun s -> Error ("checkpoint: " ^ s)) fmt in
+    let rest = ref (content_lines payload) in
+    let next what =
+      match !rest with
+      | [] -> err "truncated payload (wanted %s)" what
+      | l :: tl ->
+          rest := tl;
+          Ok l
+    in
+    let kv key =
+      let* l = next key in
+      match String.index_opt l '=' with
+      | Some i when String.sub l 0 i = key ->
+          Ok (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> err "expected %s=, got %S" key l
+    in
+    let int_kv key =
+      let* v = kv key in
+      match int_of_string_opt v with Some n when n >= 0 -> Ok n | _ -> err "bad %s value %S" key v
+    in
+    let drbg_kv key =
+      let* v = kv key in
+      match String.index_opt v ':' with
+      | Some i -> (
+          let kh = String.sub v 0 i and vh = String.sub v (i + 1) (String.length v - i - 1) in
+          match (Wire.Hex.decode_opt kh, Wire.Hex.decode_opt vh) with
+          | Some k, Some vv when String.length k = 32 && String.length vv = 32 -> Ok (k, vv)
+          | _ -> err "bad %s state" key)
+      | None -> err "bad %s state" key
+    in
+    let rec times n f acc =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* v = f () in
+        times (n - 1) f (v :: acc)
+    in
+    let* s_day = int_kv "day" in
+    let* s_clock = int_kv "clock" in
+    let* _default_state = drbg_kv "drbg-default" in
+    let* _dhe_state = drbg_kv "drbg-dhe" in
+    let* n_trust = int_kv "trust" in
+    let* s_trust =
+      times n_trust
+        (fun () ->
+          let* l = next "trust entry" in
+          match String.rindex_opt l ' ' with
+          | Some i -> (
+              match bool_of_string_opt (String.sub l (i + 1) (String.length l - i - 1)) with
+              | Some v -> Ok (String.sub l 0 i, v)
+              | None -> err "bad trust entry %S" l)
+          | None -> err "bad trust entry %S" l)
+        []
+    in
+    let* n_funnel = int_kv "funnel" in
+    let* funnel_lines = times n_funnel (fun () -> next "funnel line") [] in
+    let* s_funnel = Faults.Funnel.of_lines funnel_lines in
+    let* n_rows = int_kv "rows" in
+    let* () =
+      if n_rows = members then Ok ()
+      else err "snapshot covers %d domains, stream has %d" n_rows members
+    in
+    let* rows = times n_rows (fun () -> let* l = next "row" in parse_row ~day:s_day l) [] in
+    let* () = match !rest with [] -> Ok () | l :: _ -> err "trailing data %S" l in
+    Ok { s_day; s_clock; s_trust; s_funnel; s_rows = Array.of_list rows }
+end
+
+(* Build the final per-domain series from the (i, day) record matrix;
+   [trusted] comes from the default probe's trust cache, which either
+   the scan populated or the checkpoint-restore path refilled. *)
+let build_series ~(default_probe : Probe.t) ~(domains : Simnet.World.domain array) ~days records =
+  Array.mapi
+    (fun i d ->
+      let days_arr =
+        Array.init days (fun day ->
+            match records.(i).(day) with Some r -> r | None -> blank_record day)
       in
-      let* () = read_rows true in
-      let series =
-        List.rev !order |> List.map (Hashtbl.find by_domain) |> Array.of_list
-      in
-      Ok { start_day; n_days; series })
+      {
+        domain = Simnet.World.domain_name d;
+        rank = Simnet.World.domain_rank d;
+        weight = Simnet.World.domain_weight d;
+        trusted =
+          Option.value ~default:false
+            (Hashtbl.find_opt default_probe.Probe.trust_cache (Simnet.World.domain_name d));
+        stable = Simnet.World.domain_stable d;
+        days = days_arr;
+      })
+    domains
 
 (* Scan [domains] for [days] days, driving [clock] (both probes must read
-   it). This is the sequential inner loop shared by the serial campaign
-   ([run], over all domains on the world clock) and by each shard of
-   {!Parallel_campaign} (a connectivity-closed subset on a private
-   clock). The probe-call sequence for a fixed domain array is identical
-   either way, which is what makes shard results independent of worker
-   count. *)
-let run_subset ~clock ~default_probe ~dhe_probe ~(domains : Simnet.World.domain array) ~days
-    ?(progress = fun _ -> ()) () =
+   it, and both must share one funnel). This is the sequential inner loop
+   shared by the serial campaign ([run], over all domains on the world
+   clock) and by each shard of {!Parallel_campaign} (a connectivity-closed
+   subset on a private clock). The probe-call sequence for a fixed domain
+   array is identical either way, which is what makes shard results
+   independent of worker count.
+
+   With [checkpoint], each completed day is snapshotted into the stream.
+   On entry the stream's longest valid snapshot prefix decides the resume
+   point — a corrupt or truncated newest snapshot simply shortens the
+   prefix, falling back to the last day that verifies:
+
+   - prefix = days: the whole scan is restored from snapshots (rows,
+     trust cache, funnel) without probing; the clock jumps to the end.
+   - prefix < days: the scan runs from day 0. Replayed days (< prefix)
+     re-encode their snapshot and compare it byte-for-byte against the
+     recorded one — any divergence (wrong world, wrong seed, code drift)
+     raises {!Durable.Checkpoint.Mismatch} rather than silently archiving
+     a run that is not the one the checkpoints belong to. Fresh days
+     (>= prefix) write new snapshots.
+
+   Replay re-executes completed days instead of deserializing the world
+   mid-flight (endpoint RNGs, kex caches, session caches and STEK
+   rotations make the world state surface enormous); determinism makes
+   the re-execution exact, and the byte-compare proves it. *)
+let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
+    ~(domains : Simnet.World.domain array) ~days ?(progress = fun _ -> ()) () =
   let start = Simnet.Clock.now clock in
   let n = Array.length domains in
+  let funnel = Probe.funnel default_probe in
+  let decode_ok ~day payload =
+    match Ckpt.decode ~members:n payload with Ok s -> s.Ckpt.s_day = day | Error _ -> false
+  in
+  let prefix =
+    match checkpoint with
+    | None -> 0
+    | Some stream -> Durable.Checkpoint.valid_prefix ~decode:decode_ok stream ~days
+  in
+  if prefix >= days && days > 0 then begin
+    (* Every day is on disk and verified: restore without scanning. *)
+    let stream = Option.get checkpoint in
+    let records = Array.make_matrix n days None in
+    let restore_day day =
+      match Durable.Checkpoint.read_day stream ~day with
+      | Error e ->
+          Durable.Checkpoint.mismatch "day %d unreadable during restore: %s" day
+            (Durable.Atomic_io.error_to_string e)
+      | Ok payload -> (
+          match Ckpt.decode ~members:n payload with
+          | Error e -> Durable.Checkpoint.mismatch "day %d: %s" day e
+          | Ok s ->
+              Array.iteri (fun i r -> records.(i).(day) <- r) s.Ckpt.s_rows;
+              s)
+    in
+    for day = 0 to days - 2 do
+      ignore (restore_day day)
+    done;
+    let last = restore_day (days - 1) in
+    (* The last snapshot carries the cumulative trust cache and funnel. *)
+    List.iter
+      (fun (d, v) -> Hashtbl.replace default_probe.Probe.trust_cache d v)
+      last.Ckpt.s_trust;
+    Faults.Funnel.absorb funnel last.Ckpt.s_funnel;
+    Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
+    build_series ~default_probe ~domains ~days records
+  end
+  else begin
   let records = Array.make_matrix n days None in
   for day = 0 to days - 1 do
     progress day;
@@ -253,49 +517,55 @@ let run_subset ~clock ~default_probe ~dhe_probe ~(domains : Simnet.World.domain 
                 dhe_value = dhe_obs.Observation.dhe_value;
               }
         end)
-      domains
+      domains;
+    (match checkpoint with
+    | None -> ()
+    | Some stream ->
+        let rows = Array.init n (fun i -> records.(i).(day)) in
+        let payload = Ckpt.encode ~day ~clock ~default_probe ~dhe_probe ~funnel ~rows in
+        if day < prefix then begin
+          (* Replay verification: the re-run day must reproduce the
+             recorded snapshot exactly, or the checkpoints belong to a
+             different run than the one we are resuming. *)
+          match Durable.Checkpoint.read_day stream ~day with
+          | Ok recorded when String.equal recorded payload -> ()
+          | Ok _ ->
+              Durable.Checkpoint.mismatch
+                "replayed day %d diverges from its checkpoint (different world, seed or code?)"
+                day
+          | Error _ ->
+              (* Readable when the prefix was scanned, unreadable now:
+                 replace it with the freshly recomputed snapshot. *)
+              Durable.Checkpoint.write_day stream ~day payload
+        end
+        else Durable.Checkpoint.write_day stream ~day payload)
   done;
   (* Leave the clock at the end of the campaign. *)
   Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
-  Array.mapi
-    (fun i d ->
-      let days_arr =
-        Array.init days (fun day ->
-            match records.(i).(day) with
-            | Some r -> r
-            | None ->
-                {
-                  day;
-                  present = false;
-                  default_ok = false;
-                  stek_id = None;
-                  ticket_hint = None;
-                  ecdhe_value = None;
-                  dhe_ok = false;
-                  dhe_value = None;
-                })
-      in
-      {
-        domain = Simnet.World.domain_name d;
-        rank = Simnet.World.domain_rank d;
-        weight = Simnet.World.domain_weight d;
-        trusted =
-          (* Cached by the default probe during the campaign. *)
-          Option.value ~default:false
-            (Hashtbl.find_opt default_probe.Probe.trust_cache (Simnet.World.domain_name d));
-        stable = Simnet.World.domain_stable d;
-        days = days_arr;
-      })
-    domains
+  build_series ~default_probe ~domains ~days records
+  end
 
-let run ?injector ?retry ?funnel world ~days ?progress () =
+let run_subset ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () =
+  scan_stream ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
+
+let run ?injector ?retry ?funnel ?checkpoint world ~days ?progress () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
-  (* Both probes record into the caller's funnel (serial run, single
-     owner), so the campaign's §3-style loss table covers the default
-     and the DHE sweeps together. *)
-  let default_probe = Probe.create ?injector ?retry ?funnel ~seed:"daily-default" world in
-  let dhe_probe = Probe.dhe_only ?injector ?retry ?funnel world ~seed:"daily-dhe" in
+  (* The campaign's probes share a campaign-private funnel that is
+     absorbed into the caller's at the end (sums only, so the rendered
+     totals are unchanged). Privacy matters for checkpointing: the
+     snapshot must capture exactly the campaign's own telemetry, not
+     whatever pre-campaign probes already recorded into a shared
+     funnel. *)
+  let campaign_funnel = Faults.Funnel.create () in
+  let default_probe =
+    Probe.create ?injector ?retry ~funnel:campaign_funnel ~seed:"daily-default" world
+  in
+  let dhe_probe = Probe.dhe_only ?injector ?retry ~funnel:campaign_funnel world ~seed:"daily-dhe" in
   let domains = Simnet.World.domains world in
-  let series = run_subset ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () in
+  let checkpoint =
+    Option.map (fun store -> Durable.Checkpoint.stream store "serial") checkpoint
+  in
+  let series = scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () in
+  Option.iter (fun f -> Faults.Funnel.absorb f campaign_funnel) funnel;
   { start_day = start / Simnet.Clock.day; n_days = days; series }

@@ -30,6 +30,7 @@ val run :
   ?injector:Faults.Injector.t ->
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
+  ?checkpoint:Durable.Checkpoint.t ->
   Simnet.World.t ->
   days:int ->
   ?progress:(int -> unit) ->
@@ -38,7 +39,10 @@ val run :
 (** Runs the campaign, advancing the world's clock day by day; leaves the
     clock at the campaign's end. [injector]/[retry] route every probe
     through the fault layer; [funnel] receives the per-day loss
-    telemetry of both sweeps. *)
+    telemetry of both sweeps (recorded into a campaign-private funnel
+    and absorbed at the end). [checkpoint] snapshots each completed day
+    into the store's ["serial"] stream and resumes from the longest
+    valid snapshot prefix — see {!scan_stream}. *)
 
 val run_subset :
   clock:Simnet.Clock.t ->
@@ -53,7 +57,29 @@ val run_subset :
     {!Parallel_campaign} can drive a connectivity-closed subset of
     domains on a shard-private clock. Both probes must read [clock]
     (create them with [?clock]); it is advanced through each scan day and
-    left at the campaign's end. *)
+    left at the campaign's end. Equivalent to {!scan_stream} without a
+    checkpoint stream. *)
+
+val scan_stream :
+  ?checkpoint:Durable.Checkpoint.stream ->
+  clock:Simnet.Clock.t ->
+  default_probe:Probe.t ->
+  dhe_probe:Probe.t ->
+  domains:Simnet.World.domain array ->
+  days:int ->
+  ?progress:(int -> unit) ->
+  unit ->
+  domain_series array
+(** {!run_subset} with crash recovery. Both probes must share one
+    funnel. With [checkpoint], every completed day is snapshotted
+    (clock, probe DRBG states, trust cache, funnel, observed rows) into
+    the stream. On entry, the longest valid snapshot prefix is loaded: a
+    full prefix restores the result without probing; a partial one
+    re-runs the scan from day 0, verifying each replayed day
+    byte-for-byte against its snapshot (raising
+    {!Durable.Checkpoint.Mismatch} on divergence) before scanning the
+    remaining days fresh. Corrupt or truncated snapshots end the prefix
+    — resume falls back to the last day that verifies. *)
 
 val csv_header : string
 

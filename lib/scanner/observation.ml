@@ -140,34 +140,36 @@ let of_csv_row row =
         ~failure:(Some failure) ~attempts:(Some attempts)
   | _ -> None
 
+(* Atomic + checksummed like every archived artifact: a crash mid-write
+   cannot leave a torn CSV, and [read_csv] detects damage at load. *)
 let write_csv path conns =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc csv_header;
-      output_char oc '\n';
+  Durable.Atomic_io.with_writer path (fun w ->
+      Durable.Atomic_io.add w csv_header;
+      Durable.Atomic_io.add w "\n";
       List.iter
         (fun c ->
-          output_string oc (to_csv_row c);
-          output_char oc '\n')
+          Durable.Atomic_io.add w (to_csv_row c);
+          Durable.Atomic_io.add w "\n")
         conns)
 
 let read_csv path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc first =
-        match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
-        | line
+  match Durable.Atomic_io.read_any path with
+  | Error e -> Error (Durable.Atomic_io.error_to_string ~what:"observations" e)
+  | Ok content ->
+      let lines =
+        match List.rev (String.split_on_char '\n' content) with
+        | "" :: rest -> List.rev rest
+        | all -> List.rev all
+      in
+      let rec go acc first = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest
           when first && (String.equal line csv_header || String.equal line csv_header_legacy)
           ->
-            go acc false
-        | line -> (
+            go acc false rest
+        | line :: rest -> (
             match of_csv_row line with
-            | Some c -> go (c :: acc) false
+            | Some c -> go (c :: acc) false rest
             | None -> Error (Printf.sprintf "bad CSV row: %s" line))
       in
-      go [] true)
+      go [] true lines

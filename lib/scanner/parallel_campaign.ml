@@ -108,9 +108,11 @@ let shards ?(target = 256) world =
          { shard_id; members = Array.of_list (List.map (fun i -> domains.(i)) idxs) })
   |> Array.of_list
 
-let run ?jobs ?progress ?injector ?retry ?funnel world ~days () =
+let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
+    ?(supervise = Durable.Supervisor.default) ?chaos world ~days () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
+  let day0 = start / Simnet.Clock.day in
   let shard_arr = shards world in
   let n_shards = Array.length shard_arr in
   let jobs =
@@ -127,26 +129,101 @@ let run ?jobs ?progress ?injector ?retry ?funnel world ~days () =
      queries from different workers are race-free and their answers
      independent of scheduling. *)
   let funnels = Array.init n_shards (fun _ -> Faults.Funnel.create ()) in
-  let run_shard (s : shard) =
-    (* Private clock and probes: the shard replays the standard daily
-       sweep schedule without touching the world clock or any state
-       outside its connectivity component. Seeds derive from the shard
-       id, so they are stable for a fixed world regardless of [jobs]. *)
+  (* A shard abandoned after exhausting its supervised restarts degrades
+     into ground truth minus measurements: its domains stay present on
+     the days the list carries them, every probe-derived field is empty,
+     and the funnel books two lost probes (default + DHE sweep) per
+     present domain-day under [Worker_crash] — so a degraded campaign is
+     visible in the §3-style loss table instead of silently thinner. *)
+  let abandon (s : shard) =
+    results.(s.shard_id) <-
+      Array.map
+        (fun d ->
+          {
+            Daily_scan.domain = Simnet.World.domain_name d;
+            rank = Simnet.World.domain_rank d;
+            weight = Simnet.World.domain_weight d;
+            trusted = false;
+            stable = Simnet.World.domain_stable d;
+            days =
+              Array.init days (fun day ->
+                  {
+                    Daily_scan.day;
+                    present = Simnet.World.in_list_on_day d ~day;
+                    default_ok = false;
+                    stek_id = None;
+                    ticket_hint = None;
+                    ecdhe_value = None;
+                    dhe_ok = false;
+                    dhe_value = None;
+                  });
+          })
+        s.members;
+    let f = Faults.Funnel.create () in
+    for day = 0 to days - 1 do
+      Array.iter
+        (fun d ->
+          if Simnet.World.in_list_on_day d ~day then begin
+            Faults.Funnel.record_failure f ~day:(day0 + day) ~attempts:0
+              Faults.Fault.Worker_crash;
+            Faults.Funnel.record_failure f ~day:(day0 + day) ~attempts:0
+              Faults.Fault.Worker_crash
+          end)
+        s.members
+    done;
+    funnels.(s.shard_id) <- f
+  in
+  (* One supervised attempt at a shard. Private clock and probes: the
+     shard replays the standard daily sweep schedule without touching the
+     world clock or any state outside its connectivity component. Seeds
+     derive from the shard id, so they are stable for a fixed world
+     regardless of [jobs]. The funnel is fresh per attempt so a crashed
+     attempt's partial counts are discarded with it.
+
+     Only attempt 0 reads/writes the shard's checkpoint stream: an
+     in-process retry runs against world state already dirtied by the
+     crashed attempt, so its days would fail the replay byte-compare by
+     construction. The snapshots already on disk stay valid for a
+     process-level [resume], which starts from a clean world. *)
+  let attempt_shard (s : shard) attempt =
     let clock = Simnet.Clock.create ~start () in
+    let shard_funnel = Faults.Funnel.create () in
     let default_probe =
-      Probe.create ~clock ?injector ?retry ~funnel:funnels.(s.shard_id)
+      Probe.create ~clock ?injector ?retry ~funnel:shard_funnel
         ~seed:(Printf.sprintf "daily-default:shard:%d" s.shard_id) world
     in
     let dhe_probe =
-      Probe.dhe_only ~clock ?injector ?retry ~funnel:funnels.(s.shard_id) world
+      Probe.dhe_only ~clock ?injector ?retry ~funnel:shard_funnel world
         ~seed:(Printf.sprintf "daily-dhe:shard:%d" s.shard_id)
     in
-    let progress =
-      Option.map (fun p day -> p ~shard:s.shard_id ~day) progress
+    let stream =
+      if attempt = 0 then
+        Option.map
+          (fun store ->
+            Durable.Checkpoint.stream store (Printf.sprintf "shard-%04d" s.shard_id))
+          checkpoint
+      else None
     in
-    results.(s.shard_id) <-
-      Daily_scan.run_subset ~clock ~default_probe ~dhe_probe ~domains:s.members ~days ?progress
-        ()
+    let progress day =
+      (match chaos with Some c -> c ~shard:s.shard_id ~attempt ~day | None -> ());
+      match progress with Some p -> p ~shard:s.shard_id ~day | None -> ()
+    in
+    let series =
+      Daily_scan.scan_stream ?checkpoint:stream ~clock ~default_probe ~dhe_probe
+        ~domains:s.members ~days ~progress ()
+    in
+    (series, shard_funnel)
+  in
+  let run_shard (s : shard) =
+    let on_crash ~attempt e =
+      Printf.eprintf "campaign: shard %d crashed on attempt %d: %s\n%!" s.shard_id attempt
+        (Printexc.to_string e)
+    in
+    match Durable.Supervisor.supervised ~on_crash supervise ~attempt:(attempt_shard s) with
+    | Ok (series, shard_funnel) ->
+        results.(s.shard_id) <- series;
+        funnels.(s.shard_id) <- shard_funnel
+    | Error _ -> abandon s
   in
   (* Fixed worker pool over an atomic shard queue. Each slot of [results]
      is written by exactly one worker (the one that claimed that shard),

@@ -29,6 +29,9 @@ val run :
   ?injector:Faults.Injector.t ->
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
+  ?checkpoint:Durable.Checkpoint.t ->
+  ?supervise:Durable.Supervisor.policy ->
+  ?chaos:(shard:int -> attempt:int -> day:int -> unit) ->
   Simnet.World.t ->
   days:int ->
   unit ->
@@ -43,4 +46,19 @@ val run :
     so sharing is race-free and worker-count invariant); each shard's
     probes record into a shard-private funnel, absorbed into [funnel]
     after the join in shard order — sums only, so totals are identical
-    for any [jobs]. *)
+    for any [jobs].
+
+    [checkpoint] gives every shard a stream (["shard-0007"]) in the
+    store; completed days snapshot per shard and a resumed run restores
+    fully-checkpointed shards without scanning them (shards are
+    state-isolated by construction, so skipping one cannot change
+    another's results). [supervise] (default
+    {!Durable.Supervisor.default}) bounds in-process restarts of a
+    raising shard; on exhaustion the shard is abandoned — its domains
+    keep their list-presence ground truth, probe-derived fields stay
+    empty, and the funnel records two {!Faults.Fault.Worker_crash}
+    losses per present domain-day. In-process retries (attempt > 0) run
+    without checkpoints: the world state the crashed attempt dirtied
+    would fail the replay verification by design. [chaos] is a test
+    hook called at the start of every (shard, attempt, day); raising
+    from it simulates a worker crash. *)

@@ -730,8 +730,11 @@ let assign_ranks b domains =
 
 (* --- Assembly ------------------------------------------------------------------------ *)
 
+let min_domains = 1500
+
 let create ?(config = default_config) () =
-  if config.n_domains < 1500 then invalid_arg "World.create: need at least 1500 domains";
+  if config.n_domains < min_domains then
+    invalid_arg (Printf.sprintf "World.create: need at least %d domains" min_domains);
   let env =
     if config.use_real_crypto then Tls.Config.real_env ()
     else Tls.Config.sim_env ~seed:config.seed ()

@@ -27,7 +27,13 @@ type t
 type domain
 type endpoint
 
+val min_domains : int
+(** Smallest population the sampling model supports (1500); {!create}
+    rejects smaller configs. CLI layers validate against this before
+    building a world. *)
+
 val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] if [config.n_domains < min_domains]. *)
 
 (** {2 Accessors} *)
 

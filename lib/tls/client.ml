@@ -11,6 +11,7 @@ type t = { config : Config.client_config; rng : Crypto.Drbg.t; prefer_x25519 : b
 let x25519_group_id = 29
 
 let create ?(prefer_x25519 = false) ~config ~rng () = { config; rng; prefer_x25519 }
+let rng t = t.rng
 
 (* What the client offers for resumption. Ticket offers carry the cached
    session state (master secret) the client kept alongside the opaque

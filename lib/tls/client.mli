@@ -9,6 +9,11 @@ val create : ?prefer_x25519:bool -> config:Config.client_config -> rng:Crypto.Dr
 (** [prefer_x25519] ranks the X25519 named group (29) first in the
     supported_groups extension; servers honor the client's order. *)
 
+val rng : t -> Crypto.Drbg.t
+(** The client's private DRBG. Campaign checkpoints snapshot its state
+    so a resumed scan draws the same key shares an uninterrupted one
+    would. *)
+
 (** What the client offers for resumption. Ticket offers carry the cached
     session state (master secret) kept alongside the opaque ticket, as
     RFC 5077 requires. *)

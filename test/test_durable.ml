@@ -1,0 +1,658 @@
+(* Tests for the durability layer: atomic checksummed archives, campaign
+   checkpointing with byte-identical resume, and worker supervision.
+
+   The headline invariant under test: kill a campaign after day k, resume
+   it, and the final archive is byte-for-byte identical to the archive an
+   uninterrupted run would have produced — for serial and parallel
+   campaigns, at any worker count. *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spew path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let path = Filename.temp_file "tlsharm-durable" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+let with_temp_file f =
+  let path = Filename.temp_file "tlsharm-durable" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let flip_byte path ~pos =
+  let contents = Bytes.of_string (slurp path) in
+  Bytes.set contents pos (Char.chr (Char.code (Bytes.get contents pos) lxor 0xff));
+  spew path (Bytes.to_string contents)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Atomic_io -------------------------------------------------------------- *)
+
+(* Deterministic multi-block content: long enough to span three checksum
+   blocks so corruption offsets are meaningful. *)
+let big_content =
+  String.init ((2 * Durable.Atomic_io.block_size) + 12345) (fun i -> Char.chr (((i * 131) + (i / 997)) land 0xff))
+
+let test_atomic_roundtrip () =
+  with_temp_file (fun path ->
+      Durable.Atomic_io.write path big_content;
+      (match Durable.Atomic_io.read path with
+      | Ok c -> Alcotest.(check bool) "multi-block content survives" true (String.equal c big_content)
+      | Error e -> Alcotest.fail (Durable.Atomic_io.error_to_string e));
+      Durable.Atomic_io.write path "";
+      match Durable.Atomic_io.read path with
+      | Ok c -> Alcotest.(check string) "empty content survives" "" c
+      | Error e -> Alcotest.fail (Durable.Atomic_io.error_to_string e))
+
+let test_atomic_legacy_passthrough () =
+  with_temp_file (fun path ->
+      spew path "plain,legacy\nrows\n";
+      (match Durable.Atomic_io.read path with
+      | Error Durable.Atomic_io.Not_durable -> ()
+      | Ok _ -> Alcotest.fail "read must reject a headerless file"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e));
+      match Durable.Atomic_io.read_any path with
+      | Ok c -> Alcotest.(check string) "read_any passes legacy through" "plain,legacy\nrows\n" c
+      | Error e -> Alcotest.fail (Durable.Atomic_io.error_to_string e))
+
+let test_atomic_missing_and_empty () =
+  (match Durable.Atomic_io.read "/nonexistent/tlsharm/path" with
+  | Error (Durable.Atomic_io.Io _) -> ()
+  | Ok _ -> Alcotest.fail "missing file cannot read"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e));
+  with_temp_file (fun path ->
+      spew path "";
+      (match Durable.Atomic_io.read path with
+      | Error Durable.Atomic_io.Not_durable -> ()
+      | Ok _ -> Alcotest.fail "empty file is not durable"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e));
+      match Durable.Atomic_io.read_any path with
+      | Ok "" -> ()
+      | Ok _ -> Alcotest.fail "empty legacy file reads as empty"
+      | Error e -> Alcotest.fail (Durable.Atomic_io.error_to_string e))
+
+let test_atomic_detects_truncation () =
+  with_temp_file (fun path ->
+      Durable.Atomic_io.write path big_content;
+      let full = slurp path in
+      (* Chop the footer off entirely: a write that died mid-stream. *)
+      spew path (String.sub full 0 (String.length full - 200));
+      (match Durable.Atomic_io.read path with
+      | Error (Durable.Atomic_io.Missing_footer _) -> ()
+      | Ok _ -> Alcotest.fail "footer-less truncation must not read"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e));
+      (* Keep the footer but drop content bytes: footer and body disagree.
+         The byte at [footer_start - 1] is the frame's separator newline;
+         re-add it after shortening the content. *)
+      let footer_start =
+        match String.rindex_opt (String.sub full 0 (String.length full - 1)) '\n' with
+        | Some i -> i + 1
+        | None -> Alcotest.fail "durable file has no footer line"
+      in
+      spew path
+        (String.sub full 0 (footer_start - 101)
+        ^ "\n"
+        ^ String.sub full footer_start (String.length full - footer_start));
+      match Durable.Atomic_io.read path with
+      | Error (Durable.Atomic_io.Truncated { expected_bytes; actual_bytes }) ->
+          Alcotest.(check int) "expected bytes" (String.length big_content) expected_bytes;
+          Alcotest.(check bool) "actual below expected" true (actual_bytes < expected_bytes)
+      | Ok _ -> Alcotest.fail "short body must not read"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e))
+
+let test_atomic_detects_bit_flip () =
+  with_temp_file (fun path ->
+      Durable.Atomic_io.write path big_content;
+      let header_len =
+        let full = slurp path in
+        1 + (match String.index_opt full '\n' with Some i -> i | None -> 0)
+      in
+      (* Damage a byte in the second content block; the error must name
+         that block's starting offset. *)
+      flip_byte path ~pos:(header_len + Durable.Atomic_io.block_size + 17);
+      match Durable.Atomic_io.read path with
+      | Error (Durable.Atomic_io.Corrupt { offset }) ->
+          Alcotest.(check int) "corruption offset names the damaged block"
+            Durable.Atomic_io.block_size offset
+      | Ok _ -> Alcotest.fail "bit flip must not read"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Durable.Atomic_io.error_to_string e))
+
+let test_atomic_failed_write_leaves_no_trace () =
+  with_temp_file (fun path ->
+      spew path "precious";
+      (try
+         Durable.Atomic_io.with_writer path (fun w ->
+             Durable.Atomic_io.add w "half a file";
+             failwith "simulated crash mid-write")
+       with Failure _ -> ());
+      Alcotest.(check bool) "no temp file left" false (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check string) "original untouched" "precious" (slurp path))
+
+let prop_atomic_roundtrip =
+  QCheck2.Test.make ~name:"atomic write/read roundtrip" ~count:100
+    QCheck2.Gen.(string_size (int_range 0 1000))
+    (fun content ->
+      with_temp_file (fun path ->
+          Durable.Atomic_io.write path content;
+          match Durable.Atomic_io.read path with
+          | Ok c -> String.equal c content
+          | Error _ -> false))
+
+(* --- Campaign archive damage ------------------------------------------------- *)
+
+let small_campaign =
+  lazy
+    (let w =
+       Simnet.World.create
+         ~config:
+           { Simnet.World.default_config with Simnet.World.n_domains = 1500; seed = "durable-archive" }
+         ()
+     in
+     Scanner.Daily_scan.run w ~days:2 ())
+
+let test_campaign_load_rejects_damage () =
+  with_temp_file (fun path ->
+      Scanner.Daily_scan.save (Lazy.force small_campaign) path;
+      let pristine = slurp path in
+      (* Truncation. *)
+      spew path (String.sub pristine 0 (String.length pristine / 2));
+      (match Scanner.Daily_scan.load path with
+      | Error e -> Alcotest.(check bool) "truncation is a campaign error" true (contains e "campaign")
+      | Ok _ -> Alcotest.fail "truncated archive must not load");
+      (* Bit flip in the body. *)
+      spew path pristine;
+      flip_byte path ~pos:(String.length pristine / 2);
+      (match Scanner.Daily_scan.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bit-flipped archive must not load");
+      (* Empty file. *)
+      spew path "";
+      match Scanner.Daily_scan.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty archive must not load")
+
+(* --- Checkpoint stores -------------------------------------------------------- *)
+
+let manifest_fixture = [ ("mode", "campaign"); ("seed", "s"); ("days", "63") ]
+
+let test_checkpoint_manifest_roundtrip () =
+  with_temp_dir (fun dir ->
+      let dir = Filename.concat dir "ckpt" in
+      (match Durable.Checkpoint.init ~dir ~manifest:manifest_fixture with
+      | Error e -> Alcotest.fail e
+      | Ok store -> (
+          Alcotest.(check (option string)) "find" (Some "63") (Durable.Checkpoint.find store "days");
+          match Durable.Checkpoint.manifest store with
+          | Error e -> Alcotest.fail e
+          | Ok kvs ->
+              Alcotest.(check (option string)) "version recorded"
+                (Some (string_of_int Durable.Checkpoint.version))
+                (List.assoc_opt "version" kvs)));
+      (* Re-init with identical parameters re-attaches... *)
+      (match Durable.Checkpoint.init ~dir ~manifest:manifest_fixture with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("re-init must be idempotent: " ^ e));
+      (* ...but a different campaign is refused. *)
+      (match Durable.Checkpoint.init ~dir ~manifest:[ ("mode", "other") ] with
+      | Error e -> Alcotest.(check bool) "mentions mismatch" true (contains e "different campaign")
+      | Ok _ -> Alcotest.fail "different manifest must be refused");
+      match Durable.Checkpoint.attach ~dir with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("attach must succeed: " ^ e))
+
+let test_checkpoint_attach_errors () =
+  with_temp_dir (fun dir ->
+      (match Durable.Checkpoint.attach ~dir:(Filename.concat dir "missing") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "attach to a store-less directory must fail");
+      let cdir = Filename.concat dir "ckpt" in
+      (match Durable.Checkpoint.init ~dir:cdir ~manifest:manifest_fixture with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      let mpath = Filename.concat cdir "manifest" in
+      let pristine = slurp mpath in
+      (* Truncated manifest: typed error, no exception. *)
+      spew mpath (String.sub pristine 0 (String.length pristine - 5));
+      (match Durable.Checkpoint.attach ~dir:cdir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated manifest must not attach");
+      (* Bit-flipped manifest. *)
+      spew mpath pristine;
+      flip_byte mpath ~pos:(String.length pristine / 2);
+      (match Durable.Checkpoint.attach ~dir:cdir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bit-flipped manifest must not attach");
+      (* Raw headerless manifest (foreign file). *)
+      spew mpath "version=1\n";
+      match Durable.Checkpoint.attach ~dir:cdir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "headerless manifest must not attach")
+
+let test_checkpoint_valid_prefix () =
+  with_temp_dir (fun dir ->
+      let store =
+        match Durable.Checkpoint.init ~dir:(Filename.concat dir "ckpt") ~manifest:manifest_fixture with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let stream = Durable.Checkpoint.stream store "serial" in
+      Alcotest.(check int) "empty stream" 0 (Durable.Checkpoint.valid_prefix stream ~days:5);
+      for day = 0 to 3 do
+        Durable.Checkpoint.write_day stream ~day (Printf.sprintf "payload for day %d" day)
+      done;
+      Alcotest.(check int) "four days" 4 (Durable.Checkpoint.valid_prefix stream ~days:5);
+      Alcotest.(check int) "capped by days" 2 (Durable.Checkpoint.valid_prefix stream ~days:2);
+      (match Durable.Checkpoint.read_day stream ~day:2 with
+      | Ok p -> Alcotest.(check string) "payload round-trips" "payload for day 2" p
+      | Error e -> Alcotest.fail (Durable.Atomic_io.error_to_string e));
+      (match Durable.Checkpoint.read_day stream ~day:9 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "missing day must not read");
+      (* A decoder veto ends the prefix. *)
+      Alcotest.(check int) "decode veto"
+        1
+        (Durable.Checkpoint.valid_prefix
+           ~decode:(fun ~day _ -> day < 1)
+           stream ~days:5);
+      (* Corrupting day 1 limits resume to day 1 even though days 2-3 are
+         fine: later days build on earlier state. *)
+      let day1 = Filename.concat (Filename.concat (Durable.Checkpoint.dir store) "serial") "day-0001.ckpt" in
+      flip_byte day1 ~pos:(String.length (slurp day1) / 2);
+      Alcotest.(check int) "corrupt day ends prefix" 1 (Durable.Checkpoint.valid_prefix stream ~days:5))
+
+(* --- Supervisor ---------------------------------------------------------------- *)
+
+let test_supervisor_first_try () =
+  let crashes = ref 0 in
+  match
+    Durable.Supervisor.supervised
+      ~on_crash:(fun ~attempt:_ _ -> incr crashes)
+      Durable.Supervisor.default ~attempt:(fun a -> a * 10)
+  with
+  | Ok 0 -> Alcotest.(check int) "no crashes" 0 !crashes
+  | Ok _ -> Alcotest.fail "first attempt is attempt 0"
+  | Error _ -> Alcotest.fail "must succeed"
+
+let test_supervisor_retries_then_succeeds () =
+  let seen = ref [] in
+  match
+    Durable.Supervisor.supervised
+      ~on_crash:(fun ~attempt e -> seen := (attempt, Printexc.to_string e) :: !seen)
+      { Durable.Supervisor.max_restarts = 2 }
+      ~attempt:(fun a -> if a < 2 then failwith "flaky" else a)
+  with
+  | Ok 2 ->
+      Alcotest.(check (list int)) "crashed on attempts 0 and 1" [ 0; 1 ]
+        (List.rev_map fst !seen)
+  | Ok _ -> Alcotest.fail "succeeds on attempt 2"
+  | Error _ -> Alcotest.fail "two restarts cover two failures"
+
+let test_supervisor_exhaustion () =
+  let attempts = ref 0 in
+  match
+    Durable.Supervisor.supervised { Durable.Supervisor.max_restarts = 2 }
+      ~attempt:(fun _ ->
+        incr attempts;
+        failwith "always down")
+  with
+  | Error (Failure _) -> Alcotest.(check int) "three attempts total" 3 !attempts
+  | Error _ -> Alcotest.fail "last exception is returned"
+  | Ok _ -> Alcotest.fail "must exhaust"
+
+let test_supervisor_reraises_kill_and_mismatch () =
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Durable.Supervisor.supervised Durable.Supervisor.default ~attempt:(fun _ ->
+            incr attempts;
+            raise Durable.Supervisor.Killed));
+     Alcotest.fail "Killed must escape the supervisor"
+   with Durable.Supervisor.Killed -> ());
+  Alcotest.(check int) "a kill is not retried" 1 !attempts;
+  attempts := 0;
+  (try
+     ignore
+       (Durable.Supervisor.supervised Durable.Supervisor.default ~attempt:(fun _ ->
+            incr attempts;
+            Durable.Checkpoint.mismatch "divergence"));
+     Alcotest.fail "Mismatch must escape the supervisor"
+   with Durable.Checkpoint.Mismatch _ -> ());
+  Alcotest.(check int) "a mismatch is not retried" 1 !attempts
+
+(* --- Serialization properties --------------------------------------------------
+   The checkpoint payload codec is exercised end-to-end by the resume
+   tests below; these cover its two stateful ingredients directly. *)
+
+let prop_funnel_lines_roundtrip =
+  QCheck2.Test.make ~name:"funnel to_lines/of_lines roundtrip" ~count:200
+    QCheck2.Gen.(
+      let op =
+        let* day = int_range 0 5 in
+        let* attempts = int_range 1 4 in
+        let* success = bool in
+        let* slow = bool in
+        let* fault = oneofl Faults.Fault.all in
+        return (day, attempts, success, slow, fault)
+      in
+      list_size (int_range 0 50) op)
+    (fun ops ->
+      let f = Faults.Funnel.create () in
+      List.iter
+        (fun (day, attempts, success, slow, fault) ->
+          if success then Faults.Funnel.record_success f ~day ~attempts ~slow
+          else Faults.Funnel.record_failure f ~day ~attempts fault)
+        ops;
+      let lines = Faults.Funnel.to_lines f in
+      match Faults.Funnel.of_lines lines with
+      | Error _ -> false
+      | Ok f' -> Faults.Funnel.to_lines f' = lines)
+
+let test_funnel_of_lines_rejects_garbage () =
+  (match Faults.Funnel.of_lines [ "not a funnel line" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  match Faults.Funnel.of_lines [ "cell 1 2 3" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short cell line must not parse"
+
+let prop_drbg_state_roundtrip =
+  QCheck2.Test.make ~name:"drbg state/restore continues the stream" ~count:100
+    QCheck2.Gen.(pair (string_size (int_range 1 32)) (int_range 1 120))
+    (fun (seed, n) ->
+      let d = Crypto.Drbg.create ~seed in
+      ignore (Crypto.Drbg.generate d n);
+      let d' = Crypto.Drbg.restore ~state:(Crypto.Drbg.state d) in
+      String.equal (Crypto.Drbg.generate d 48) (Crypto.Drbg.generate d' 48))
+
+let test_drbg_restore_rejects_bad_state () =
+  match Crypto.Drbg.restore ~state:("short", String.make 32 'v') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a non-32-byte state must be rejected"
+
+(* --- Serial kill-and-resume ------------------------------------------------------
+
+   Simulated kill: [progress] fires at the start of day d, after days
+   0..d-1 checkpointed — raising {!Durable.Supervisor.Killed} there is a
+   process death with exactly k completed days on disk. *)
+
+let serial_config =
+  { Simnet.World.default_config with Simnet.World.n_domains = 1500; seed = "durable-serial" }
+
+let serial_days = 4
+
+let archive_bytes campaign =
+  with_temp_file (fun path ->
+      Scanner.Daily_scan.save campaign path;
+      slurp path)
+
+let serial_reference =
+  lazy
+    (let w = Simnet.World.create ~config:serial_config () in
+     archive_bytes (Scanner.Daily_scan.run w ~days:serial_days ()))
+
+let init_store dir =
+  match Durable.Checkpoint.init ~dir ~manifest:manifest_fixture with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let kill_serial_after store ~k =
+  let w = Simnet.World.create ~config:serial_config () in
+  match
+    Scanner.Daily_scan.run ~checkpoint:store w ~days:serial_days
+      ~progress:(fun d -> if d = k then raise Durable.Supervisor.Killed)
+      ()
+  with
+  | _ -> Alcotest.fail "the kill must fire"
+  | exception Durable.Supervisor.Killed -> ()
+
+let test_serial_kill_resume_identity () =
+  let reference = Lazy.force serial_reference in
+  (* k = 1, mid, last-1. *)
+  List.iter
+    (fun k ->
+      with_temp_dir (fun dir ->
+          let store = init_store (Filename.concat dir "ckpt") in
+          kill_serial_after store ~k;
+          let stream = Durable.Checkpoint.stream store "serial" in
+          Alcotest.(check int)
+            (Printf.sprintf "k=%d days survive the kill" k)
+            k
+            (Durable.Checkpoint.valid_prefix stream ~days:serial_days);
+          let w = Simnet.World.create ~config:serial_config () in
+          let resumed = Scanner.Daily_scan.run ~checkpoint:store w ~days:serial_days () in
+          Alcotest.(check bool)
+            (Printf.sprintf "resume after day %d is byte-identical" k)
+            true
+            (String.equal (archive_bytes resumed) reference);
+          (* The completed store now restores without scanning. *)
+          let w = Simnet.World.create ~config:serial_config () in
+          let restored = Scanner.Daily_scan.run ~checkpoint:store w ~days:serial_days () in
+          Alcotest.(check bool) "full restore is byte-identical" true
+            (String.equal (archive_bytes restored) reference)))
+    [ 1; 2; serial_days - 1 ]
+
+let test_serial_corrupt_newest_falls_back () =
+  let reference = Lazy.force serial_reference in
+  with_temp_dir (fun dir ->
+      let store = init_store (Filename.concat dir "ckpt") in
+      let w = Simnet.World.create ~config:serial_config () in
+      ignore (Scanner.Daily_scan.run ~checkpoint:store w ~days:serial_days ());
+      (* Damage the newest snapshot: resume must fall back to the last
+         valid day and still converge on the same archive. *)
+      let newest =
+        Filename.concat
+          (Filename.concat (Durable.Checkpoint.dir store) "serial")
+          (Printf.sprintf "day-%04d.ckpt" (serial_days - 1))
+      in
+      flip_byte newest ~pos:(String.length (slurp newest) / 2);
+      let stream = Durable.Checkpoint.stream store "serial" in
+      Alcotest.(check int) "prefix stops at the damage" (serial_days - 1)
+        (Durable.Checkpoint.valid_prefix stream ~days:serial_days);
+      let w = Simnet.World.create ~config:serial_config () in
+      let resumed = Scanner.Daily_scan.run ~checkpoint:store w ~days:serial_days () in
+      Alcotest.(check bool) "resume past corruption is byte-identical" true
+        (String.equal (archive_bytes resumed) reference))
+
+let test_resume_wrong_world_mismatches () =
+  with_temp_dir (fun dir ->
+      let store = init_store (Filename.concat dir "ckpt") in
+      let w = Simnet.World.create ~config:serial_config () in
+      ignore (Scanner.Daily_scan.run ~checkpoint:store w ~days:2 ());
+      (* Same store, different world: the replay byte-compare must refuse
+         to graft this run onto the recorded checkpoints. *)
+      let other =
+        Simnet.World.create ~config:{ serial_config with Simnet.World.seed = "other-world" } ()
+      in
+      match Scanner.Daily_scan.run ~checkpoint:store other ~days:serial_days () with
+      | _ -> Alcotest.fail "a different world must not resume"
+      | exception Durable.Checkpoint.Mismatch _ -> ())
+
+(* --- Parallel kill-and-resume ----------------------------------------------------- *)
+
+let parallel_config =
+  { Simnet.World.default_config with Simnet.World.n_domains = 1500; seed = "durable-parallel" }
+
+let parallel_days = 3
+
+let parallel_reference =
+  lazy
+    (let w = Simnet.World.create ~config:parallel_config () in
+     archive_bytes (Scanner.Parallel_campaign.run ~jobs:1 w ~days:parallel_days ()))
+
+let test_parallel_kill_resume_identity () =
+  let reference = Lazy.force parallel_reference in
+  with_temp_dir (fun dir ->
+      let store = init_store (Filename.concat dir "ckpt") in
+      let w = Simnet.World.create ~config:parallel_config () in
+      (* Kill the worker mid-shard: shard 1, start of day 1. *)
+      (match
+         Scanner.Parallel_campaign.run ~jobs:1 ~checkpoint:store
+           ~chaos:(fun ~shard ~attempt:_ ~day ->
+             if shard = 1 && day = 1 then raise Durable.Supervisor.Killed)
+           w ~days:parallel_days ()
+       with
+      | _ -> Alcotest.fail "the kill must fire"
+      | exception Durable.Supervisor.Killed -> ());
+      (* Resume at a different worker count than the killed run. *)
+      let w = Simnet.World.create ~config:parallel_config () in
+      let resumed =
+        Scanner.Parallel_campaign.run ~jobs:4 ~checkpoint:store w ~days:parallel_days ()
+      in
+      Alcotest.(check bool) "resume with jobs=4 is byte-identical" true
+        (String.equal (archive_bytes resumed) reference);
+      (* Every shard is now fully checkpointed: a further resume (back at
+         jobs=1) restores without scanning and still matches. *)
+      let w = Simnet.World.create ~config:parallel_config () in
+      let restored =
+        Scanner.Parallel_campaign.run ~jobs:1 ~checkpoint:store w ~days:parallel_days ()
+      in
+      Alcotest.(check bool) "full restore with jobs=1 is byte-identical" true
+        (String.equal (archive_bytes restored) reference))
+
+(* --- Worker supervision ------------------------------------------------------------ *)
+
+let test_supervised_retry_recovers () =
+  (* One crash at the very start of shard 0's first attempt: the retry
+     starts from pristine world state, so the campaign must equal an
+     uncrashed run exactly. *)
+  let run ~chaos () =
+    let w = Simnet.World.create ~config:parallel_config () in
+    Scanner.Parallel_campaign.run ~jobs:1 ?chaos w ~days:2 ()
+  in
+  let plain = run ~chaos:None () in
+  let crashed_once = ref false in
+  let chaotic =
+    run
+      ~chaos:
+        (Some
+           (fun ~shard ~attempt ~day ->
+             if shard = 0 && attempt = 0 && day = 0 then begin
+               crashed_once := true;
+               failwith "injected worker crash"
+             end))
+      ()
+  in
+  Alcotest.(check bool) "chaos fired" true !crashed_once;
+  Alcotest.(check bool) "retried shard converges with the clean run" true
+    (plain.Scanner.Daily_scan.series = chaotic.Scanner.Daily_scan.series)
+
+let test_abandoned_shard_degrades () =
+  let w = Simnet.World.create ~config:parallel_config () in
+  let shard0 = (Scanner.Parallel_campaign.shards w).(0) in
+  let days = 2 in
+  let expected_losses =
+    (* Two probes (default + DHE) booked per present domain-day. *)
+    2
+    * Array.fold_left
+        (fun acc d ->
+          let p = ref 0 in
+          for day = 0 to days - 1 do
+            if Simnet.World.in_list_on_day d ~day then incr p
+          done;
+          acc + !p)
+        0 shard0.Scanner.Parallel_campaign.members
+  in
+  let funnel = Faults.Funnel.create () in
+  let campaign =
+    Scanner.Parallel_campaign.run ~jobs:1 ~funnel
+      ~supervise:{ Durable.Supervisor.max_restarts = 1 }
+      ~chaos:(fun ~shard ~attempt:_ ~day:_ -> if shard = 0 then failwith "shard 0 always dies")
+      w ~days ()
+  in
+  (* The campaign completes; shard 0's domains keep list-presence ground
+     truth but no probe-derived data. *)
+  let member0 = Simnet.World.domain_name shard0.Scanner.Parallel_campaign.members.(0) in
+  let series =
+    Array.to_list campaign.Scanner.Daily_scan.series
+    |> List.find (fun (s : Scanner.Daily_scan.domain_series) ->
+           String.equal s.Scanner.Daily_scan.domain member0)
+  in
+  Alcotest.(check bool) "abandoned domain never probed" true
+    (Array.for_all
+       (fun (r : Scanner.Daily_scan.day_record) ->
+         (not r.Scanner.Daily_scan.default_ok) && r.Scanner.Daily_scan.stek_id = None)
+       series.Scanner.Daily_scan.days);
+  let totals = Faults.Funnel.totals funnel in
+  Alcotest.(check (option int)) "losses booked under worker crash" (Some expected_losses)
+    (List.assoc_opt Faults.Fault.Worker_crash totals.Faults.Funnel.t_losses);
+  (* And the funnel report names them. *)
+  let report = Analysis.Funnel_report.render funnel in
+  Alcotest.(check bool) "report has a supervised-failures row" true
+    (contains report "supervised shard failures")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "atomic-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_atomic_roundtrip;
+          Alcotest.test_case "legacy passthrough" `Quick test_atomic_legacy_passthrough;
+          Alcotest.test_case "missing and empty" `Quick test_atomic_missing_and_empty;
+          Alcotest.test_case "detects truncation" `Quick test_atomic_detects_truncation;
+          Alcotest.test_case "detects bit flips" `Quick test_atomic_detects_bit_flip;
+          Alcotest.test_case "failed write leaves no trace" `Quick
+            test_atomic_failed_write_leaves_no_trace;
+        ] );
+      qsuite "atomic-io-properties" [ prop_atomic_roundtrip ];
+      ( "campaign-archive",
+        [ Alcotest.test_case "load rejects damage" `Slow test_campaign_load_rejects_damage ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "manifest roundtrip" `Quick test_checkpoint_manifest_roundtrip;
+          Alcotest.test_case "attach errors" `Quick test_checkpoint_attach_errors;
+          Alcotest.test_case "valid prefix" `Quick test_checkpoint_valid_prefix;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "first try" `Quick test_supervisor_first_try;
+          Alcotest.test_case "retries then succeeds" `Quick test_supervisor_retries_then_succeeds;
+          Alcotest.test_case "exhaustion" `Quick test_supervisor_exhaustion;
+          Alcotest.test_case "reraises kill and mismatch" `Quick
+            test_supervisor_reraises_kill_and_mismatch;
+        ] );
+      qsuite "serialization-properties"
+        [ prop_funnel_lines_roundtrip; prop_drbg_state_roundtrip ];
+      ( "serialization",
+        [
+          Alcotest.test_case "funnel rejects garbage" `Quick test_funnel_of_lines_rejects_garbage;
+          Alcotest.test_case "drbg rejects bad state" `Quick test_drbg_restore_rejects_bad_state;
+        ] );
+      ( "serial-resume",
+        [
+          Alcotest.test_case "kill/resume byte identity" `Slow test_serial_kill_resume_identity;
+          Alcotest.test_case "corrupt newest falls back" `Slow
+            test_serial_corrupt_newest_falls_back;
+          Alcotest.test_case "wrong world mismatches" `Slow test_resume_wrong_world_mismatches;
+        ] );
+      ( "parallel-resume",
+        [
+          Alcotest.test_case "kill/resume across worker counts" `Slow
+            test_parallel_kill_resume_identity;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "retry recovers" `Slow test_supervised_retry_recovers;
+          Alcotest.test_case "abandoned shard degrades" `Slow test_abandoned_shard_degrades;
+        ] );
+    ]
