@@ -10,14 +10,15 @@
      bench/main.exe micro           microbenchmarks only (writes BENCH_crypto.json)
      bench/main.exe ablations       section 8.2 what-ifs only
      bench/main.exe parallel        serial vs parallel campaign wall-clock
+     bench/main.exe phases          per-phase campaign telemetry breakdown
      bench/main.exe faults          fault-injected campaign + loss funnel
      bench/main.exe check-baseline  compare BENCH_crypto.json to BENCH_baseline.json
 
-   The `micro` and `parallel` entries additionally emit machine-readable
-   results to BENCH_crypto.json ("kernels" and "campaign" sections
-   respectively; see README.md for the format), and `check-baseline` exits
-   nonzero if any kernel regressed more than 2x against the committed
-   baseline — the CI bench smoke step.
+   The `micro`, `parallel` and `phases` entries additionally emit
+   machine-readable results to BENCH_crypto.json ("kernels", "campaign"
+   and "phases" sections respectively; see README.md for the format), and
+   `check-baseline` exits nonzero if any kernel regressed more than 2x
+   against the committed baseline — the CI bench smoke step.
 
    Environment:
      TLSHARM_DOMAINS   sampled world size (default 4000)
@@ -49,6 +50,7 @@ let study_config () =
     fault_profile = Faults.Profile.none;
     retry = Faults.Retry.default;
     checkpoint = None;
+    obs = None;
   }
 
 let study = lazy (Tlsharm.Study.create ~config:(study_config ()) ())
@@ -515,6 +517,81 @@ let parallel_campaign_bench () =
       (if deterministic then "identical to" else "DIFFER FROM (BUG)")
       (Array.length serial.Scanner.Daily_scan.series)
 
+(* --- Per-phase telemetry breakdown --------------------------------------------------- *)
+
+(* The observability layer over a mini-campaign with host-clock span
+   timing enabled: where a campaign's wall-clock actually goes, phase by
+   phase, plus the crypto-kernel call counts behind it. Emits a "phases"
+   section into BENCH_crypto.json so perf PRs can diff per-phase cost,
+   not just end-to-end seconds. *)
+let rec json_io_of_obs (j : Obs.Json.t) : Json_io.t =
+  match j with
+  | Obs.Json.Null -> Json_io.Null
+  | Obs.Json.Bool b -> Json_io.Bool b
+  | Obs.Json.Num n -> Json_io.Num n
+  | Obs.Json.Str s -> Json_io.Str s
+  | Obs.Json.List l -> Json_io.List (List.map json_io_of_obs l)
+  | Obs.Json.Obj kvs -> Json_io.Obj (List.map (fun (k, v) -> (k, json_io_of_obs v)) kvs)
+
+let phases_bench () =
+  let n_domains = env_int "TLSHARM_DOMAINS" 2000 in
+  let days = env_int "TLSHARM_DAYS" 7 in
+  let world =
+    Simnet.World.create
+      ~config:
+        {
+          Simnet.World.default_config with
+          Simnet.World.n_domains;
+          seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+        }
+      ()
+  in
+  let obs = Obs.Recorder.create ~wall:true () in
+  let kernel_before = Obs.Kernel.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let scan = Scanner.Daily_scan.run ~obs world ~days () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Obs.Kernel.add_to_metrics (Obs.Recorder.metrics obs)
+    (Obs.Kernel.diff ~before:kernel_before ~after:(Obs.Kernel.snapshot ()));
+  update_bench_json "phases"
+    (Json_io.Obj
+       [
+         ("n_domains", Json_io.Num (float_of_int n_domains));
+         ("days", Json_io.Num (float_of_int days));
+         ("wall_s", Json_io.Num wall_s);
+         ("metrics", json_io_of_obs (Obs.Metrics.to_json (Obs.Recorder.metrics obs)));
+         ("trace", json_io_of_obs (Obs.Trace.to_json (Obs.Recorder.trace obs)));
+       ]);
+  let m = Obs.Recorder.metrics obs in
+  let counter name = Obs.Metrics.counter_value m name in
+  Analysis.Report.section "Campaign phase breakdown (telemetry, wall clock on)"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Metric"; "Count" ]
+      ~rows:
+        (List.map
+           (fun name -> [ name; string_of_int (counter name) ])
+           [
+             "probe.connects";
+             "probe.attempts";
+             "probe.successes";
+             "probe.failures";
+             "probe.tickets.issued";
+             "probe.kex.dhe";
+             "probe.kex.ecdhe";
+             "kernel.pow_mod";
+             "kernel.pow_mod_fixed";
+             "kernel.ec_scalar_mult";
+             "kernel.ec_scalar_mult_base";
+             "kernel.x25519_mult";
+           ])
+  ^ Printf.sprintf
+      "\n\n%d domains, %d days, %d series rows; campaign wall-clock %.2f s. Full per-span wall \
+       timings are in the \"phases\" section of %s.\n"
+      n_domains days
+      (Array.length scan.Scanner.Daily_scan.series)
+      wall_s (bench_json_path ())
+
 (* --- Fault-injection funnel ---------------------------------------------------------- *)
 
 (* A fault-enabled mini-campaign under the default profile: the same
@@ -604,6 +681,7 @@ let named : (string * (unit -> string)) list =
       ("tls13", tls13);
       ("micro", microbenches);
       ("parallel", parallel_campaign_bench);
+      ("phases", phases_bench);
       ("faults", faults_bench);
       ("check-baseline", check_baseline);
     ]

@@ -130,6 +130,7 @@ let study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile ~retry =
     fault_profile;
     retry;
     checkpoint = None;
+    obs = None;
   }
 
 (* --- world-info ------------------------------------------------------------------ *)
@@ -297,19 +298,48 @@ let reproduce_cmd =
 
 (* The campaign runner shared by [campaign] and [resume]: both must
    execute the identical code path for the resumed archive to come out
-   byte-identical to an uninterrupted run. *)
-let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint () =
+   byte-identical to an uninterrupted run. Telemetry rides alongside:
+   the recorder only reads outcomes, so enabling it cannot change the
+   archive, and its metrics are restricted to schedule-determined
+   quantities, so the rendered metrics JSON is identical for any
+   --jobs within a regime (and across serial/parallel too, since both
+   regimes probe the same domain-day schedule). *)
+let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint ~metrics_out
+    ~trace_out () =
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let injector =
     if profile.Faults.Profile.name = "none" then None
     else Some (Faults.Injector.create ~profile world)
   in
   let funnel = Faults.Funnel.create () in
+  let obs =
+    if metrics_out <> None || trace_out <> None then Some (Obs.Recorder.create ()) else None
+  in
+  (* Kernel counters are process-global; the snapshot window scopes the
+     published [kernel.*] deltas to the campaign itself (excluding world
+     construction, which runs before telemetry starts). *)
+  let kernel_before = Obs.Kernel.snapshot () in
   let t =
     if jobs > 1 then
-      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel ?checkpoint world ~days ()
-    else Scanner.Daily_scan.run ?injector ~retry ~funnel ?checkpoint world ~days ()
+      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel ?checkpoint ?obs world ~days
+        ()
+    else Scanner.Daily_scan.run ?injector ~retry ~funnel ?checkpoint ?obs world ~days ()
   in
+  Option.iter
+    (fun r ->
+      Obs.Kernel.add_to_metrics (Obs.Recorder.metrics r)
+        (Obs.Kernel.diff ~before:kernel_before ~after:(Obs.Kernel.snapshot ())))
+    obs;
+  (match (obs, metrics_out) with
+  | Some r, Some path ->
+      Durable.Atomic_io.write path (Obs.Recorder.metrics_json_string r);
+      Printf.printf "wrote campaign metrics to %s\n" path
+  | _ -> ());
+  (match (obs, trace_out) with
+  | Some r, Some path ->
+      Durable.Atomic_io.write path (Obs.Recorder.trace_json_string r);
+      Printf.printf "wrote campaign trace spans to %s\n" path
+  | _ -> ());
   Scanner.Daily_scan.save t out;
   Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
     (Array.length t.Scanner.Daily_scan.series)
@@ -339,7 +369,8 @@ let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry
     ("output", out);
   ]
 
-let campaign domains days seed jobs out fault_profile retries deadline checkpoint_dir =
+let campaign domains days seed jobs out fault_profile retries deadline checkpoint_dir
+    metrics_out trace_out =
   match validate_sizes ~domains ~days ~jobs with
   | Error e -> `Error (false, e)
   | Ok () -> (
@@ -357,7 +388,30 @@ let campaign domains days seed jobs out fault_profile retries deadline checkpoin
       match checkpoint with
       | Error e -> `Error (false, e)
       | Ok checkpoint ->
-          guard (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint)))
+          guard
+            (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint
+               ~metrics_out ~trace_out)))
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write campaign metrics (counters, gauges, histograms) as JSON. Telemetry only reads \
+           outcomes — the observation archive is byte-identical with or without it — and the \
+           metrics content is schedule-determined, so the JSON is identical for any --jobs. \
+           Render with $(b,tlsharm metrics-report).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write aggregated trace spans (handshake phases, scan days, campaign shards) as JSON, \
+           timed on the simulated clock. Unlike metrics, spans reflect the execution shape: a \
+           parallel campaign has per-shard spans a serial one does not.")
 
 let checkpoint_dir_arg =
   Arg.(
@@ -382,11 +436,11 @@ let campaign_cmd =
     Term.(
       ret
         (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out $ fault_profile_arg
-       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg))
+       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg))
 
 (* --- resume -------------------------------------------------------------------------------- *)
 
-let resume dir jobs_override =
+let resume dir jobs_override metrics_out trace_out =
   match Durable.Checkpoint.attach ~dir with
   | Error e -> `Error (false, e)
   | Ok store -> (
@@ -435,7 +489,7 @@ let resume dir jobs_override =
                   | Ok jobs ->
                       guard
                         (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry
-                           ~checkpoint:(Some store))))
+                           ~checkpoint:(Some store) ~metrics_out ~trace_out)))
           | Some mode, _, _, _, _, _, _, _, _ when mode <> "campaign" ->
               `Error (false, Printf.sprintf "%s: cannot resume mode %S" dir mode)
           | _ -> `Error (false, dir ^ ": manifest is missing campaign fields")))
@@ -463,7 +517,7 @@ let resume_cmd =
          "Resume an interrupted campaign from its checkpoint directory; the final archive is \
           byte-identical to an uninterrupted run. Falls back to the last valid snapshot if the \
           newest is corrupt.")
-    Term.(ret (const resume $ dir $ jobs))
+    Term.(ret (const resume $ dir $ jobs $ metrics_out_arg $ trace_out_arg))
 
 let analyze path =
   guard @@ fun () ->
@@ -500,6 +554,114 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Re-analyze an archived campaign CSV (secret-lifetime spans).")
     Term.(ret (const analyze $ path))
+
+(* --- metrics-report -------------------------------------------------------------------- *)
+
+(* Human rendering of the JSON telemetry artifacts written by
+   [campaign --metrics-out/--trace-out] (and the bench phases entry).
+   Accepts either schema: both files carry a "schema" field, so one
+   command serves both rather than making the user remember which file
+   holds which. *)
+let metrics_report path =
+  guard @@ fun () ->
+  match Durable.Atomic_io.read_any path with
+  | Error e -> `Error (false, Durable.Atomic_io.error_to_string ~what:path e)
+  | Ok content -> (
+      match Obs.Json.of_string content with
+      | Error e -> `Error (false, path ^ ": " ^ e)
+      | Ok json -> (
+          let obj_section name =
+            Option.value ~default:[]
+              (Option.bind (Obs.Json.member name json) Obs.Json.to_obj)
+          in
+          let ints name j =
+            Option.value ~default:[]
+              (Option.map (List.filter_map Obs.Json.to_int)
+                 (Option.bind (Obs.Json.member name j) Obs.Json.to_list))
+          in
+          match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str with
+          | Some s when String.equal s Obs.Metrics.schema ->
+              let counters = obj_section "counters" and gauges = obj_section "gauges" in
+              if counters <> [] then print_endline "counters:";
+              List.iter
+                (fun (name, v) ->
+                  Printf.printf "  %-28s %d\n" name (Option.value ~default:0 (Obs.Json.to_int v)))
+                counters;
+              if gauges <> [] then print_endline "gauges:";
+              List.iter
+                (fun (name, v) ->
+                  Printf.printf "  %-28s %d\n" name (Option.value ~default:0 (Obs.Json.to_int v)))
+                gauges;
+              let hists = obj_section "histograms" in
+              if hists <> [] then print_endline "histograms:";
+              List.iter
+                (fun (name, h) ->
+                  let bounds = ints "bounds" h and counts = ints "counts" h in
+                  let sum =
+                    Option.value ~default:0 (Option.bind (Obs.Json.member "sum" h) Obs.Json.to_int)
+                  in
+                  Printf.printf "  %-28s sum=%d\n" name sum;
+                  List.iteri
+                    (fun i c ->
+                      let label =
+                        if i < List.length bounds then
+                          Printf.sprintf "<= %d" (List.nth bounds i)
+                        else
+                          Printf.sprintf "> %d"
+                            (match List.rev bounds with b :: _ -> b | [] -> 0)
+                      in
+                      Printf.printf "    %-10s %d\n" label c)
+                    counts)
+                hists;
+              `Ok ()
+          | Some s when String.equal s Obs.Trace.schema ->
+              let spans =
+                Option.value ~default:[]
+                  (Option.bind (Obs.Json.member "spans" json) Obs.Json.to_list)
+              in
+              Printf.printf "%-24s %-32s %8s %12s %10s %10s\n" "span" "attrs" "count"
+                "sim_total_s" "sim_min_s" "sim_max_s";
+              List.iter
+                (fun span ->
+                  let str name =
+                    Option.value ~default:""
+                      (Option.bind (Obs.Json.member name span) Obs.Json.to_str)
+                  in
+                  let num name =
+                    Option.value ~default:0
+                      (Option.bind (Obs.Json.member name span) Obs.Json.to_int)
+                  in
+                  let attrs =
+                    Option.value ~default:[]
+                      (Option.bind (Obs.Json.member "attrs" span) Obs.Json.to_obj)
+                    |> List.map (fun (k, v) ->
+                           Printf.sprintf "%s=%s" k
+                             (Option.value ~default:"?" (Obs.Json.to_str v)))
+                    |> String.concat ","
+                  in
+                  Printf.printf "%-24s %-32s %8d %12d %10d %10d" (str "name") attrs (num "count")
+                    (num "sim_total_s") (num "sim_min_s") (num "sim_max_s");
+                  (match
+                     Option.bind (Obs.Json.member "wall_ns" span) Obs.Json.to_float
+                   with
+                  | Some w -> Printf.printf "  wall=%.3fms\n" (w /. 1e6)
+                  | None -> print_newline ()))
+                spans;
+              `Ok ()
+          | Some s -> `Error (false, Printf.sprintf "%s: unknown telemetry schema %S" path s)
+          | None -> `Error (false, path ^ ": missing schema field (not a telemetry file?)")))
+
+let metrics_report_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Metrics or trace JSON written by campaign/bench telemetry.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-report"
+       ~doc:"Render a telemetry artifact (--metrics-out or --trace-out JSON) as a table.")
+    Term.(ret (const metrics_report $ path))
 
 (* --- posture --------------------------------------------------------------------------- *)
 
@@ -621,4 +783,17 @@ let () =
   let doc = "Measuring the security harm of TLS crypto shortcuts (IMC 2016), reproduced." in
   let info = Cmd.info "tlsharm" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ world_info_cmd; scan_cmd; reproduce_cmd; experiment_cmd; campaign_cmd; resume_cmd; analyze_cmd; posture_cmd; attack_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [
+            world_info_cmd;
+            scan_cmd;
+            reproduce_cmd;
+            experiment_cmd;
+            campaign_cmd;
+            resume_cmd;
+            analyze_cmd;
+            metrics_report_cmd;
+            posture_cmd;
+            attack_cmd;
+          ]))

@@ -120,6 +120,22 @@ let steal_kex_value_and_decrypt recording ~server ~env =
       match recording.outcome.Tls.Engine.cipher with
       | Some suite -> (
           match Tls.Types.suite_kex suite with
+          | Tls.Types.Ecdhe when String.length client_public = Crypto.X25519.key_len -> (
+              (* NIST-curve ClientKeyExchanges carry an uncompressed point
+                 (0x04 || X || Y, odd length); a 32-byte payload can only
+                 be an X25519 share. *)
+              match Tls.Kex_cache.current_x25519 kex_cache with
+              | None -> Error "server holds no cached X25519 value (nothing to steal)"
+              | Some stolen -> (
+                  match Crypto.X25519.shared_secret stolen ~peer_pub:client_public with
+                  | Error e -> Error e
+                  | Ok pre_master ->
+                      let master =
+                        Crypto.Prf.master_secret ~pre_master
+                          ~client_random:recording.capture.client_random
+                          ~server_random:recording.capture.server_random
+                      in
+                      decrypt_with_master recording ~master))
           | Tls.Types.Ecdhe -> (
               match Tls.Kex_cache.current_ecdhe kex_cache with
               | None -> Error "server holds no cached ECDHE value (nothing to steal)"

@@ -29,6 +29,9 @@ type config = {
       (* campaign crash-recovery store; the pre-campaign point
          experiments are cheap relative to the nine-week campaign and
          re-run deterministically on resume *)
+  obs : Obs.Recorder.t option;
+      (* telemetry sink shared by every experiment probe and the
+         campaign; [None] (the default) is the untouched legacy path *)
 }
 
 let default_config =
@@ -42,6 +45,7 @@ let default_config =
     fault_profile = Faults.Profile.none;
     retry = Faults.Retry.default;
     checkpoint = None;
+    obs = None;
   }
 
 type t = {
@@ -105,15 +109,15 @@ let funnel t = t.funnel
    no-ops and the probes behave exactly as before. *)
 let probe ?offer_suites ?offer_ticket t ~seed =
   Scanner.Probe.create ?offer_suites ?offer_ticket ?injector:t.injector ~retry:t.config.retry
-    ~funnel:t.funnel ~seed t.world
+    ~funnel:t.funnel ?obs:t.config.obs ~seed t.world
 
 let dhe_probe_of t ~seed =
-  Scanner.Probe.dhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel t.world
-    ~seed
+  Scanner.Probe.dhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
+    ?obs:t.config.obs t.world ~seed
 
 let ecdhe_probe_of t ~seed =
-  Scanner.Probe.ecdhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel t.world
-    ~seed
+  Scanner.Probe.ecdhe_only ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
+    ?obs:t.config.obs t.world ~seed
 
 let log t fmt =
   if t.config.verbose then Format.eprintf (fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
@@ -225,13 +229,14 @@ let campaign t =
         if t.config.jobs > 1 then begin
           log t "study: daily campaign (%d days, %d jobs)" t.config.campaign_days t.config.jobs;
           Scanner.Parallel_campaign.run ~jobs:t.config.jobs ?injector:t.injector
-            ~retry:t.config.retry ~funnel:t.funnel ?checkpoint:t.config.checkpoint t.world
-            ~days:t.config.campaign_days ()
+            ~retry:t.config.retry ~funnel:t.funnel ?checkpoint:t.config.checkpoint
+            ?obs:t.config.obs t.world ~days:t.config.campaign_days ()
         end
         else begin
           log t "study: daily campaign (%d days)" t.config.campaign_days;
           Scanner.Daily_scan.run ?injector:t.injector ~retry:t.config.retry ~funnel:t.funnel
-            ?checkpoint:t.config.checkpoint t.world ~days:t.config.campaign_days
+            ?checkpoint:t.config.checkpoint ?obs:t.config.obs t.world
+            ~days:t.config.campaign_days
             ~progress:(fun day -> log t "study: campaign day %d" day)
             ()
         end

@@ -25,6 +25,10 @@ type config = {
           campaign day is snapshotted and a re-created study resumes the
           campaign from the longest valid snapshot prefix. Pre-campaign
           point experiments re-run deterministically on resume. *)
+  obs : Obs.Recorder.t option;
+      (** telemetry sink (default [None]) shared by every experiment
+          probe and the campaign runners. Recorders only read outcomes,
+          so enabling one leaves every archive byte-identical. *)
 }
 
 val default_config : config

@@ -515,6 +515,7 @@ let pow_mont (ctx : mont) (am : int array) (e : t) : int array =
   end
 
 let pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
+  Obs.Kernel.(bump pow_mod);
   if is_zero e then rem one ctx.modulus else of_mont ctx (pow_mont ctx (to_mont ctx a) e)
 
 (* a^e mod m. Montgomery sliding-window for odd m; generic
@@ -592,6 +593,7 @@ let fixed_base (ctx : mont) (g : t) ~max_bits : fixed_base =
       fb
 
 let pow_mod_fixed (fb : fixed_base) (e : t) : t =
+  Obs.Kernel.(bump pow_mod_fixed);
   let ctx = fb.fb_ctx in
   if is_zero e then rem one ctx.modulus
   else if num_bits e > fb.fb_w * fb.fb_d then

@@ -211,7 +211,9 @@ let jac_scalar_mult c k p =
     !acc
   end
 
-let scalar_mult c k p = of_jac c (jac_scalar_mult c k (to_jac c p))
+let scalar_mult c k p =
+  Obs.Kernel.(bump ec_scalar_mult);
+  of_jac c (jac_scalar_mult c k (to_jac c p))
 
 let jac_scalar_mult_base c k =
   let { cw; cd; ctable } = c.comb in
@@ -236,7 +238,9 @@ let jac_scalar_mult_base c k =
     !acc
   end
 
-let scalar_mult_base c k = of_jac c (jac_scalar_mult_base c k)
+let scalar_mult_base c k =
+  Obs.Kernel.(bump ec_scalar_mult_base);
+  of_jac c (jac_scalar_mult_base c k)
 
 let scalar_mult_base_add c u1 u2 q =
   of_jac c (jac_add c (jac_scalar_mult_base c u1) (jac_scalar_mult c u2 (to_jac c q)))

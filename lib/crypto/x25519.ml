@@ -65,6 +65,7 @@ let ladder k u =
   else F.to_bignum fctx (F.mul fctx !x2 (F.inv fctx !z2))
 
 let scalar_mult ~scalar ~u =
+  Obs.Kernel.(bump x25519_mult);
   let k = clamp_scalar scalar in
   let uv = decode_u_coordinate u in
   encode_u_coordinate (ladder k uv)

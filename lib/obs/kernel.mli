@@ -1,0 +1,24 @@
+(** Global call counters for the expensive asymmetric crypto kernels.
+    The kernels sit far below anywhere a registry can be threaded, so
+    they bump process-wide [Atomic] counters; increments commute, so
+    totals are identical at any worker count. Callers snapshot around a
+    region and publish the diff as [kernel.*] counters. *)
+
+type counter
+
+val pow_mod : counter
+val pow_mod_fixed : counter
+val ec_scalar_mult : counter
+val ec_scalar_mult_base : counter
+val x25519_mult : counter
+
+val bump : counter -> unit
+
+val snapshot : unit -> (string * int) list
+(** Current values, in fixed registration order. *)
+
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter deltas between two snapshots. *)
+
+val add_to_metrics : Metrics.t -> (string * int) list -> unit
+(** Publish a {!diff} into a registry as [kernel.<name>] counters. *)

@@ -1,0 +1,46 @@
+(* The bundle the rest of the codebase passes around: one metrics
+   registry plus one trace collector. Everything that accepts telemetry
+   takes a [Recorder.t option] — [None] costs a single option match on
+   the hot path and guarantees byte-identical behaviour with telemetry
+   off, because a recorder only ever *reads* simulation state (it never
+   draws from a DRBG or advances a clock). *)
+
+type t = { metrics : Metrics.t; trace : Trace.t; wall : bool }
+
+let create ?(wall = false) () = { metrics = Metrics.create (); trace = Trace.create ~wall (); wall }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let wall_enabled t = t.wall
+
+let incr t name = Metrics.incr t.metrics name
+let add t name n = Metrics.add t.metrics name n
+let gauge_max t name v = Metrics.gauge_max t.metrics name v
+let observe t name ~bounds v = Metrics.observe t.metrics name ~bounds v
+let span t ~name ?attrs ~now f = Trace.timed t.trace ~name ?attrs ~now f
+
+let merge dst src =
+  Metrics.merge dst.metrics src.metrics;
+  Trace.merge dst.trace src.trace
+
+(* Option-friendly variants for instrumentation sites: telemetry off
+   means a recorder is simply absent. *)
+let incr_opt o name = Option.iter (fun t -> incr t name) o
+let add_opt o name n = Option.iter (fun t -> add t name n) o
+let gauge_max_opt o name v = Option.iter (fun t -> gauge_max t name v) o
+let observe_opt o name ~bounds v = Option.iter (fun t -> observe t name ~bounds v) o
+
+let span_opt o ~name ?attrs ~now f =
+  match o with None -> f () | Some t -> span t ~name ?attrs ~now f
+
+(* A point event on the simulated timeline, rendered as a zero-duration
+   span: handshake phases happen "between ticks" (the virtual clock does
+   not advance inside a handshake), so their count and placement is the
+   signal, not their duration. *)
+let event t ~name ?attrs ~at () =
+  Trace.record t.trace ~name ?attrs ~sim_start:at ~sim_end:at ()
+
+let event_opt o ~name ?attrs ~at () = Option.iter (fun t -> event t ~name ?attrs ~at ()) o
+
+let metrics_json_string t = Metrics.to_json_string t.metrics
+let trace_json_string t = Trace.to_json_string t.trace

@@ -1,0 +1,53 @@
+(** A metrics registry bundled with a trace collector — the value the
+    scanner, campaign runners and CLI thread around. Instrumentation
+    sites take a [t option]; [None] (telemetry off) is free and
+    guaranteed not to perturb the simulation, since recorders only read
+    state. *)
+
+type t
+
+val create : ?wall:bool -> unit -> t
+(** [wall] (default false) enables host-clock span timing — see
+    {!Trace.create}. *)
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+val wall_enabled : t -> bool
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val gauge_max : t -> string -> int -> unit
+val observe : t -> string -> bounds:int array -> int -> unit
+
+val span :
+  t -> name:string -> ?attrs:(string * string) list -> now:(unit -> int) -> (unit -> 'a) -> 'a
+
+val merge : t -> t -> unit
+(** Absorb a shard recorder: metrics and trace aggregates merge
+    order-independently. *)
+
+(** Option-friendly variants used at instrumentation sites. *)
+
+val incr_opt : t option -> string -> unit
+val add_opt : t option -> string -> int -> unit
+val gauge_max_opt : t option -> string -> int -> unit
+val observe_opt : t option -> string -> bounds:int array -> int -> unit
+
+val span_opt :
+  t option ->
+  name:string ->
+  ?attrs:(string * string) list ->
+  now:(unit -> int) ->
+  (unit -> 'a) ->
+  'a
+
+val event : t -> name:string -> ?attrs:(string * string) list -> at:int -> unit -> unit
+(** A point on the simulated timeline (zero-duration span): handshake
+    phases happen between clock ticks, so placement and count are the
+    signal. *)
+
+val event_opt :
+  t option -> name:string -> ?attrs:(string * string) list -> at:int -> unit -> unit
+
+val metrics_json_string : t -> string
+val trace_json_string : t -> string

@@ -442,9 +442,13 @@ let build_series ~(default_probe : Probe.t) ~(domains : Simnet.World.domain arra
    mid-flight (endpoint RNGs, kex caches, session caches and STEK
    rotations make the world state surface enormous); determinism makes
    the re-execution exact, and the byte-compare proves it. *)
-let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
+let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
     ~(domains : Simnet.World.domain array) ~days ?(progress = fun _ -> ()) () =
   let start = Simnet.Clock.now clock in
+  (* [scan.days] is a gauge (max-merge): every stream of one campaign
+     scans the same day count, so a counter would multiply it by the
+     shard count under parallel execution. *)
+  if days > 0 then Obs.Recorder.gauge_max_opt obs "scan.days" days;
   let n = Array.length domains in
   let funnel = Probe.funnel default_probe in
   let decode_ok ~day payload =
@@ -487,8 +491,15 @@ let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
   let records = Array.make_matrix n days None in
   for day = 0 to days - 1 do
     progress day;
-    (* Default sweep at 00:30, DHE sweep at 02:00 local study time. *)
+    (* Default sweep at 00:30, DHE sweep at 02:00 local study time. The
+       [scan.day] span covers exactly that 90-virtual-minute window; the
+       clock is positioned before the span opens so its simulated
+       duration is sweep-to-sweep, not midnight-to-midnight. *)
     Simnet.Clock.set clock (start + (day * Simnet.Clock.day) + (30 * Simnet.Clock.minute));
+    Obs.Recorder.span_opt obs ~name:"scan.day"
+      ~attrs:[ ("day", string_of_int day) ]
+      ~now:(fun () -> Simnet.Clock.now clock)
+      (fun () ->
     let default_obs = Array.make n None in
     Array.iteri
       (fun i d ->
@@ -501,6 +512,7 @@ let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
     Array.iteri
       (fun i d ->
         if Simnet.World.in_list_on_day d ~day then begin
+          Obs.Recorder.incr_opt obs "scan.domain_days";
           let dhe_obs, _ = Probe.connect dhe_probe ~domain:(Simnet.World.domain_name d) in
           let default_o = default_obs.(i) in
           records.(i).(day) <-
@@ -517,7 +529,7 @@ let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
                 dhe_value = dhe_obs.Observation.dhe_value;
               }
         end)
-      domains;
+      domains);
     (match checkpoint with
     | None -> ()
     | Some stream ->
@@ -545,10 +557,10 @@ let scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe
   build_series ~default_probe ~domains ~days records
   end
 
-let run_subset ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () =
-  scan_stream ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
+let run_subset ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () =
+  scan_stream ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
 
-let run ?injector ?retry ?funnel ?checkpoint world ~days ?progress () =
+let run ?injector ?retry ?funnel ?checkpoint ?obs world ~days ?progress () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
   (* The campaign's probes share a campaign-private funnel that is
@@ -559,13 +571,18 @@ let run ?injector ?retry ?funnel ?checkpoint world ~days ?progress () =
      funnel. *)
   let campaign_funnel = Faults.Funnel.create () in
   let default_probe =
-    Probe.create ?injector ?retry ~funnel:campaign_funnel ~seed:"daily-default" world
+    Probe.create ?injector ?retry ~funnel:campaign_funnel ?obs ~seed:"daily-default" world
   in
-  let dhe_probe = Probe.dhe_only ?injector ?retry ~funnel:campaign_funnel world ~seed:"daily-dhe" in
+  let dhe_probe =
+    Probe.dhe_only ?injector ?retry ~funnel:campaign_funnel ?obs world ~seed:"daily-dhe"
+  in
   let domains = Simnet.World.domains world in
   let checkpoint =
     Option.map (fun store -> Durable.Checkpoint.stream store "serial") checkpoint
   in
-  let series = scan_stream ?checkpoint ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () in
+  Obs.Recorder.gauge_max_opt obs "campaign.days" days;
+  let series =
+    scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
+  in
   Option.iter (fun f -> Faults.Funnel.absorb f campaign_funnel) funnel;
   { start_day = start / Simnet.Clock.day; n_days = days; series }

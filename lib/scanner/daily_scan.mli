@@ -31,6 +31,7 @@ val run :
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
   ?checkpoint:Durable.Checkpoint.t ->
+  ?obs:Obs.Recorder.t ->
   Simnet.World.t ->
   days:int ->
   ?progress:(int -> unit) ->
@@ -42,9 +43,12 @@ val run :
     telemetry of both sweeps (recorded into a campaign-private funnel
     and absorbed at the end). [checkpoint] snapshots each completed day
     into the store's ["serial"] stream and resumes from the longest
-    valid snapshot prefix — see {!scan_stream}. *)
+    valid snapshot prefix — see {!scan_stream}. [obs] receives probe
+    counters, [scan.day] spans and campaign gauges; it never perturbs
+    the scan, so the archive is byte-identical with it absent. *)
 
 val run_subset :
+  ?obs:Obs.Recorder.t ->
   clock:Simnet.Clock.t ->
   default_probe:Probe.t ->
   dhe_probe:Probe.t ->
@@ -62,6 +66,7 @@ val run_subset :
 
 val scan_stream :
   ?checkpoint:Durable.Checkpoint.stream ->
+  ?obs:Obs.Recorder.t ->
   clock:Simnet.Clock.t ->
   default_probe:Probe.t ->
   dhe_probe:Probe.t ->

@@ -109,7 +109,7 @@ let shards ?(target = 256) world =
   |> Array.of_list
 
 let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
-    ?(supervise = Durable.Supervisor.default) ?chaos world ~days () =
+    ?(supervise = Durable.Supervisor.default) ?chaos ?obs world ~days () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
   let day0 = start / Simnet.Clock.day in
@@ -129,6 +129,13 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
      queries from different workers are race-free and their answers
      independent of scheduling. *)
   let funnels = Array.init n_shards (fun _ -> Faults.Funnel.create ()) in
+  (* Telemetry mirrors the funnel discipline: each shard attempt records
+     into a private recorder (so a crashed attempt's partial counts die
+     with it), and successful shards merge into the caller's recorder
+     after the join, in shard order. Counters and histograms sum and
+     gauges max — commutative and associative — so the merged registry
+     is independent of worker count and scheduling. *)
+  let recorders : Obs.Recorder.t option array = Array.make n_shards None in
   (* A shard abandoned after exhausting its supervised restarts degrades
      into ground truth minus measurements: its domains stay present on
      the days the list carries them, every probe-derived field is empty,
@@ -188,12 +195,15 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
   let attempt_shard (s : shard) attempt =
     let clock = Simnet.Clock.create ~start () in
     let shard_funnel = Faults.Funnel.create () in
+    let shard_obs =
+      Option.map (fun o -> Obs.Recorder.create ~wall:(Obs.Recorder.wall_enabled o) ()) obs
+    in
     let default_probe =
-      Probe.create ~clock ?injector ?retry ~funnel:shard_funnel
+      Probe.create ~clock ?injector ?retry ~funnel:shard_funnel ?obs:shard_obs
         ~seed:(Printf.sprintf "daily-default:shard:%d" s.shard_id) world
     in
     let dhe_probe =
-      Probe.dhe_only ~clock ?injector ?retry ~funnel:shard_funnel world
+      Probe.dhe_only ~clock ?injector ?retry ~funnel:shard_funnel ?obs:shard_obs world
         ~seed:(Printf.sprintf "daily-dhe:shard:%d" s.shard_id)
     in
     let stream =
@@ -209,10 +219,17 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
       match progress with Some p -> p ~shard:s.shard_id ~day | None -> ()
     in
     let series =
-      Daily_scan.scan_stream ?checkpoint:stream ~clock ~default_probe ~dhe_probe
-        ~domains:s.members ~days ~progress ()
+      (* The shard span covers the shard's whole campaign on its private
+         clock — [days] virtual days of simulated duration, plus the
+         shard's host-clock cost when wall timing is on. *)
+      Obs.Recorder.span_opt shard_obs ~name:"campaign.shard"
+        ~attrs:[ ("shard", string_of_int s.shard_id) ]
+        ~now:(fun () -> Simnet.Clock.now clock)
+        (fun () ->
+          Daily_scan.scan_stream ?checkpoint:stream ?obs:shard_obs ~clock ~default_probe
+            ~dhe_probe ~domains:s.members ~days ~progress ())
     in
-    (series, shard_funnel)
+    (series, shard_funnel, shard_obs)
   in
   let run_shard (s : shard) =
     let on_crash ~attempt e =
@@ -220,9 +237,10 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
         (Printexc.to_string e)
     in
     match Durable.Supervisor.supervised ~on_crash supervise ~attempt:(attempt_shard s) with
-    | Ok (series, shard_funnel) ->
+    | Ok (series, shard_funnel, shard_obs) ->
         results.(s.shard_id) <- series;
-        funnels.(s.shard_id) <- shard_funnel
+        funnels.(s.shard_id) <- shard_funnel;
+        recorders.(s.shard_id) <- shard_obs
     | Error _ -> abandon s
   in
   (* Fixed worker pool over an atomic shard queue. Each slot of [results]
@@ -248,6 +266,11 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
   (* Funnel merge in shard order: commutative sums, but a fixed order
      keeps even intermediate states reproducible. *)
   Option.iter (fun f -> Array.iter (Faults.Funnel.absorb f) funnels) funnel;
+  Option.iter
+    (fun o ->
+      Obs.Recorder.gauge_max o "campaign.days" days;
+      Array.iter (function Some r -> Obs.Recorder.merge o r | None -> ()) recorders)
+    obs;
   (* The serial campaign leaves the world clock at the campaign's end;
      keep that contract so downstream experiments see the same time. *)
   Simnet.Clock.set clock (start + (days * Simnet.Clock.day));

@@ -32,6 +32,7 @@ val run :
   ?checkpoint:Durable.Checkpoint.t ->
   ?supervise:Durable.Supervisor.policy ->
   ?chaos:(shard:int -> attempt:int -> day:int -> unit) ->
+  ?obs:Obs.Recorder.t ->
   Simnet.World.t ->
   days:int ->
   unit ->
@@ -61,4 +62,10 @@ val run :
     without checkpoints: the world state the crashed attempt dirtied
     would fail the replay verification by design. [chaos] is a test
     hook called at the start of every (shard, attempt, day); raising
-    from it simulates a worker crash. *)
+    from it simulates a worker crash.
+
+    [obs] receives telemetry through shard-private recorders merged
+    after the join in shard order; the merge laws (counters sum, gauges
+    max) make the merged metrics independent of [jobs]. A crashed
+    attempt's recorder is discarded with its funnel; each attempt wraps
+    its scan in a [campaign.shard] span. *)

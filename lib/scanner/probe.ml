@@ -19,10 +19,12 @@ type t = {
   net : Faults.Net.t;
       (* fault injection + retry policy + funnel; without an injector
          this is the legacy single-attempt path *)
+  obs : Obs.Recorder.t option;
+      (* telemetry sink; [None] is the byte-identical legacy path *)
 }
 
 let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) ?clock ?injector
-    ?retry ?funnel ~seed world =
+    ?retry ?funnel ?obs ~seed world =
   let env = Simnet.World.env world in
   let client =
     Tls.Client.create
@@ -40,17 +42,17 @@ let create ?(offer_suites = Tls.Types.all_cipher_suites) ?(offer_ticket = true) 
   in
   let clock = Option.value clock ~default:(Simnet.World.clock world) in
   let net = Faults.Net.create ?injector ?policy:retry ?funnel () in
-  { world; client; trust_cache = Hashtbl.create 256; env; clock; net }
+  { world; client; trust_cache = Hashtbl.create 256; env; clock; net; obs }
 
 let funnel t = Faults.Net.funnel t.net
 
-let dhe_only ?clock ?injector ?retry ?funnel world ~seed =
+let dhe_only ?clock ?injector ?retry ?funnel ?obs world ~seed =
   create ~offer_suites:[ Tls.Types.DHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock
-    ?injector ?retry ?funnel ~seed world
+    ?injector ?retry ?funnel ?obs ~seed world
 
-let ecdhe_only ?clock ?injector ?retry ?funnel world ~seed =
+let ecdhe_only ?clock ?injector ?retry ?funnel ?obs world ~seed =
   create ~offer_suites:[ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ] ~offer_ticket:false ?clock
-    ?injector ?retry ?funnel ~seed world
+    ?injector ?retry ?funnel ?obs ~seed world
 
 let evaluate_trust t ~domain ~chain ~now =
   match Hashtbl.find_opt t.trust_cache domain with
@@ -121,12 +123,73 @@ let observe ?(attempts = 1) t ~domain (outcome : Tls.Engine.outcome) ~now =
    observation instead of collapsed into one anonymous failure. Returns
    the observation and the raw outcome (which carries the session/ticket
    needed to build the next offer). *)
+(* Histogram buckets for attempts-per-connection: the retry budget tops
+   out well below 16, so the open bucket only catches policy changes. *)
+let retry_bounds = [| 1; 2; 4; 8; 16 |]
+
+(* Everything recorded here is schedule-determined — probe/phase counts,
+   attempt totals (injector decisions are pure hashes of endpoint, time
+   and attempt number), kex classification — so the merged registry is
+   identical at any worker count. The recorder only reads the outcome;
+   it never draws randomness or moves a clock, keeping the observation
+   stream byte-identical with telemetry off. *)
+let record_outcome t ~now ~offer result =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+      let phase =
+        match offer with
+        | Tls.Client.Fresh -> "fresh"
+        | Tls.Client.Offer_session_id _ -> "session_id"
+        | Tls.Client.Offer_ticket _ -> "ticket"
+      in
+      Obs.Recorder.incr obs "probe.connects";
+      Obs.Recorder.event obs ~name:"probe.phase.connect" ~attrs:[ ("offer", phase) ] ~at:now ();
+      let attempts = match result with Ok (_, n) | Error (_, n) -> n in
+      Obs.Recorder.add obs "probe.attempts" attempts;
+      Obs.Recorder.observe obs "probe.retry.attempts" ~bounds:retry_bounds attempts;
+      (match result with
+      | Error _ -> Obs.Recorder.incr obs "probe.failures"
+      | Ok ((outcome : Tls.Engine.outcome), _) ->
+          if outcome.Tls.Engine.ok then Obs.Recorder.incr obs "probe.successes"
+          else Obs.Recorder.incr obs "probe.failures";
+          (match outcome.Tls.Engine.resumed with
+          | `No -> (
+              Obs.Recorder.incr obs "probe.resumed.none";
+              (* A full handshake ran a key exchange. *)
+              match outcome.Tls.Engine.cipher with
+              | None -> ()
+              | Some suite ->
+                  let kex =
+                    match Tls.Types.suite_kex suite with
+                    | Tls.Types.Dhe -> "dhe"
+                    | Tls.Types.Ecdhe -> "ecdhe"
+                    | Tls.Types.Static_ecdh -> "static_ecdh"
+                  in
+                  Obs.Recorder.incr obs ("probe.kex." ^ kex);
+                  Obs.Recorder.event obs ~name:"probe.phase.kex" ~attrs:[ ("kex", kex) ] ~at:now
+                    ())
+          | `Via_session_id ->
+              Obs.Recorder.incr obs "probe.resumed.session_id";
+              Obs.Recorder.event obs ~name:"probe.phase.resume"
+                ~attrs:[ ("via", "session_id") ] ~at:now ()
+          | `Via_ticket ->
+              Obs.Recorder.incr obs "probe.resumed.ticket";
+              Obs.Recorder.event obs ~name:"probe.phase.resume" ~attrs:[ ("via", "ticket") ]
+                ~at:now ());
+          match outcome.Tls.Engine.new_ticket with
+          | Some _ ->
+              Obs.Recorder.incr obs "probe.tickets.issued";
+              Obs.Recorder.event obs ~name:"probe.phase.ticket" ~at:now ()
+          | None -> ())
+
 let connect ?(offer = Tls.Client.Fresh) t ~domain =
   let now = Simnet.Clock.now t.clock in
   let result =
     Faults.Net.attempt t.net ~hostname:domain ~now ~connect:(fun () ->
         Simnet.World.connect ~clock:t.clock t.world ~client:t.client ~hostname:domain ~offer)
   in
+  record_outcome t ~now ~offer result;
   match result with
   | Ok (outcome, attempts) -> (observe ~attempts t ~domain outcome ~now, Some outcome)
   | Error (failure, attempts) ->

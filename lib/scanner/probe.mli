@@ -10,6 +10,7 @@ type t = {
   env : Tls.Config.env;
   clock : Simnet.Clock.t;
   net : Faults.Net.t;
+  obs : Obs.Recorder.t option;
 }
 
 val create :
@@ -19,13 +20,17 @@ val create :
   ?injector:Faults.Injector.t ->
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
+  ?obs:Obs.Recorder.t ->
   seed:string ->
   Simnet.World.t ->
   t
 (** [clock] defaults to the world clock; a parallel campaign gives each
     shard's probes a private clock instead. Without [injector] the probe
     makes exactly one attempt per connection (the legacy path);
-    [funnel] shares loss telemetry across probes of one serial run. *)
+    [funnel] shares loss telemetry across probes of one serial run.
+    [obs] collects probe counters and handshake-phase spans; it only
+    reads outcomes, so the observation stream is byte-identical with it
+    absent. *)
 
 val funnel : t -> Faults.Funnel.t
 
@@ -34,6 +39,7 @@ val dhe_only :
   ?injector:Faults.Injector.t ->
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
+  ?obs:Obs.Recorder.t ->
   Simnet.World.t ->
   seed:string ->
   t
@@ -43,6 +49,7 @@ val ecdhe_only :
   ?injector:Faults.Injector.t ->
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
+  ?obs:Obs.Recorder.t ->
   Simnet.World.t ->
   seed:string ->
   t

@@ -66,6 +66,7 @@ let ecdhe_keypair t ~now ~curve rng =
    the Attack demonstrations and the examples. *)
 let current_dhe t = Option.map fst t.dhe
 let current_ecdhe t = Option.map fst t.ecdhe
+let current_x25519 t = Option.map fst t.x25519
 
 let x25519_keypair t ~now rng =
   match t.x25519 with

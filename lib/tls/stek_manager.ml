@@ -57,11 +57,17 @@ let restart t ~now =
   | Per_process -> t.process_stek <- None
   | Static | Rotate_every _ | Scheduled _ -> ()
 
-let process_key t ~now ~label =
+let process_key t ~label =
   match t.process_stek with
   | Some stek -> stek
   | None ->
-      let stek = Stek.derive ~secret:(t.secret ^ label) ~period:t.process_started_at ~now in
+      (* The key conceptually exists from the moment the process came up,
+         not from whichever probe first touched it — stamp [created_at]
+         with the process start so exposure windows measure from there. *)
+      let stek =
+        Stek.derive ~secret:(t.secret ^ label) ~period:t.process_started_at
+          ~now:t.process_started_at
+      in
       t.process_stek <- Some stek;
       stek
 
@@ -90,8 +96,8 @@ let scheduled_interval_start t boundaries k =
 (* The STEK currently used to *issue* tickets. *)
 let issuing t ~now =
   match t.policy with
-  | Static -> process_key t ~now ~label:":static"
-  | Per_process -> process_key t ~now ~label:Printf.(sprintf ":proc:%d" t.process_started_at)
+  | Static -> process_key t ~label:":static"
+  | Per_process -> process_key t ~label:Printf.(sprintf ":proc:%d" t.process_started_at)
   | Rotate_every { period; _ } ->
       Stek.derive ~secret:t.secret ~period:(now / period) ~now:(now / period * period)
   | Scheduled boundaries ->
@@ -125,7 +131,13 @@ let find_for_decrypt t ~now key_name =
       let rec scan k =
         if k > periods_back then None
         else
-          let candidate = Stek.derive ~secret:t.secret ~period:(current - k) ~now in
+          (* Stamp with the candidate's own period start, exactly as the
+             issuing path did when it minted the key — a window key
+             stamped with the *decrypt* time would claim a later birth
+             than the ticket it protects. *)
+          let candidate =
+            Stek.derive ~secret:t.secret ~period:(current - k) ~now:((current - k) * period)
+          in
           if String.equal (Stek.key_name candidate) key_name then Some candidate else scan (k + 1)
       in
       scan 0

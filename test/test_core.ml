@@ -329,6 +329,72 @@ let test_attack_dhe_variant () =
       | Ok plain -> Alcotest.(check string) "dhe theft decrypts" "dhe secret" plain
       | Error e -> Alcotest.fail e)
 
+let test_attack_x25519_variant () =
+  (* Theft of the cached X25519 share: an X25519-preferring client makes
+     the reusing server negotiate group 29, and the attack must resolve
+     the 32-byte ClientKeyExchange against the cached X25519 private
+     value (regression: the cache had no accessor for it, so this theft
+     was invisible to the demos). *)
+  let rng = Crypto.Drbg.create ~seed:"x25519-attack" in
+  let ca =
+    Tls.Cert.self_signed ~curve:attack_env.Tls.Config.pki_curve ~name:"CA3" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:1 rng
+  in
+  let key = Crypto.Ecdsa.gen_keypair attack_env.Tls.Config.pki_curve rng in
+  let cert =
+    Tls.Cert.issue ca ~curve:attack_env.Tls.Config.pki_curve ~subject:"x.example" ~not_before:0
+      ~not_after:(1 lsl 40) ~serial:2
+      ~pub:(Crypto.Ec.point_bytes attack_env.Tls.Config.pki_curve (Crypto.Ecdsa.public_key key))
+      rng
+  in
+  let server =
+    Tls.Server.create
+      ~config:
+        {
+          Tls.Config.env = attack_env;
+          suites = [ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ];
+          issue_session_ids = false;
+          session_cache = None;
+          tickets = None;
+          kex_cache = Tls.Kex_cache.create ~ecdhe:Tls.Kex_cache.Reuse_forever ();
+          cert_chain = [ cert ];
+          cert_key = key;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"x25519-attack-server")
+  in
+  let client =
+    Tls.Client.create ~prefer_x25519:true
+      ~config:
+        {
+          Tls.Config.cl_env = attack_env;
+          offer_suites = [ Tls.Types.ECDHE_ECDSA_AES128_SHA256 ];
+          offer_ticket = false;
+          root_store = Tls.Cert.store_of_list [ Tls.Cert.authority_cert ca ];
+          check_certs = false;
+          evaluate_trust = false;
+          verify_ske = true;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"x25519-attack-client") ()
+  in
+  match
+    Tlsharm.Attack.victim_connection ~plaintext:"x25519 secret" client server ~now:100
+      ~hostname:"x.example" ~offer:Tls.Client.Fresh
+  with
+  | Error e -> Alcotest.fail e
+  | Ok recording -> (
+      (* The handshake really used X25519: the captured CKE is a raw
+         32-byte u-coordinate, not an uncompressed NIST point. *)
+      (match recording.Tlsharm.Attack.capture.Tlsharm.Attack.client_kex_public with
+      | Some pub ->
+          Alcotest.(check int) "32-byte x25519 share" Crypto.X25519.key_len (String.length pub)
+      | None -> Alcotest.fail "no ClientKeyExchange captured");
+      Alcotest.(check bool)
+        "cached x25519 value visible to the attacker" true
+        (Tls.Kex_cache.current_x25519 (Tls.Server.config server).Tls.Config.kex_cache <> None);
+      match Tlsharm.Attack.steal_kex_value_and_decrypt recording ~server ~env:attack_env with
+      | Ok plain -> Alcotest.(check string) "x25519 theft decrypts" "x25519 secret" plain
+      | Error e -> Alcotest.fail e)
+
 let () =
   Alcotest.run "core"
     [
@@ -349,5 +415,6 @@ let () =
           Alcotest.test_case "succeed with shortcuts" `Quick test_attacks_succeed_with_shortcuts;
           Alcotest.test_case "fail without shortcuts" `Quick test_attacks_fail_without_shortcuts;
           Alcotest.test_case "dhe variant" `Quick test_attack_dhe_variant;
+          Alcotest.test_case "x25519 variant" `Quick test_attack_x25519_variant;
         ] );
     ]

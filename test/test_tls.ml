@@ -301,6 +301,76 @@ let test_scheduled_stek_created_at () =
   Alcotest.(check int) "same stamp in one interval" (Tls.Stek.created_at a)
     (Tls.Stek.created_at b)
 
+let test_stek_created_at_issue_decrypt_agree () =
+  (* Regression: under every policy, resolving a key for decryption must
+     return the same [created_at] the issuing path stamped — the decrypt
+     path used to re-derive with the query time, so exposure windows
+     measured from whenever a ticket happened to come back. *)
+  List.iter
+    (fun (label, policy) ->
+      let m = Tls.Stek_manager.create ~policy ~secret:("agree-" ^ label) ~now:0 in
+      List.iter
+        (fun issue_now ->
+          let issued = Tls.Stek_manager.issuing m ~now:issue_now in
+          List.iter
+            (fun decrypt_now ->
+              match
+                Tls.Stek_manager.find_for_decrypt m ~now:decrypt_now (Tls.Stek.key_name issued)
+              with
+              | None -> () (* outside the accept window; nothing to compare *)
+              | Some found ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s: created_at issued@%d decrypted@%d" label issue_now
+                       decrypt_now)
+                    (Tls.Stek.created_at issued) (Tls.Stek.created_at found))
+            [ issue_now; issue_now + 50; issue_now + 150 ])
+        [ 10; 120; 260 ])
+    [
+      ("static", Tls.Stek_manager.Static);
+      ("per-process", Tls.Stek_manager.Per_process);
+      ("rotate", Tls.Stek_manager.Rotate_every { period = 100; accept_window = 150 });
+      ("scheduled", Tls.Stek_manager.Scheduled [ 100; 200 ]);
+    ]
+
+let test_rotate_decrypt_window_created_at () =
+  (* Regression: a [Rotate_every] accept-window key found one period back
+     must carry its own period's start as [created_at], exactly as the
+     issuing path stamped it — not the decrypt time. *)
+  let m =
+    Tls.Stek_manager.create
+      ~policy:(Tls.Stek_manager.Rotate_every { period = 100; accept_window = 150 })
+      ~secret:"rotate-window" ~now:0
+  in
+  let issued = Tls.Stek_manager.issuing m ~now:50 in
+  Alcotest.(check int) "issued stamp is period start" 0 (Tls.Stek.created_at issued);
+  (* One period later the key no longer issues but still decrypts. *)
+  let current = Tls.Stek_manager.issuing m ~now:130 in
+  Alcotest.(check bool) "rotation happened" false
+    (String.equal (Tls.Stek.key_name issued) (Tls.Stek.key_name current));
+  match Tls.Stek_manager.find_for_decrypt m ~now:130 (Tls.Stek.key_name issued) with
+  | None -> Alcotest.fail "key inside accept window not found"
+  | Some found ->
+      Alcotest.(check string) "same key material" (Tls.Stek.key_name issued)
+        (Tls.Stek.key_name found);
+      Alcotest.(check int) "window key keeps its period-start stamp" 0
+        (Tls.Stek.created_at found)
+
+let test_per_process_stek_created_at () =
+  (* Regression: a [Per_process] STEK conceptually exists from process
+     start; stamping it with whichever probe first touched it inflated
+     its apparent freshness by the idle time before the first ticket. *)
+  let m = Tls.Stek_manager.create ~policy:Tls.Stek_manager.Per_process ~secret:"pp" ~now:0 in
+  let first_use = Tls.Stek_manager.issuing m ~now:500 in
+  Alcotest.(check int) "stamped with process start, not first use" 0
+    (Tls.Stek.created_at first_use);
+  (* Restart at 1000, first post-restart use at 1700: the fresh key dates
+     from the restart. *)
+  Tls.Stek_manager.restart m ~now:1000;
+  let after_restart = Tls.Stek_manager.issuing m ~now:1700 in
+  Alcotest.(check bool) "restart rotated the key" false
+    (String.equal (Tls.Stek.key_name first_use) (Tls.Stek.key_name after_restart));
+  Alcotest.(check int) "stamped with restart time" 1000 (Tls.Stek.created_at after_restart)
+
 (* --- Ticket resumption ------------------------------------------------------------ *)
 
 let ticket_offer (o : Tls.Engine.outcome) =
@@ -955,6 +1025,12 @@ let () =
           Alcotest.test_case "per-process stek restart" `Quick test_per_process_stek_restart;
           Alcotest.test_case "shared stek cross-domain" `Quick test_shared_stek_cross_domain;
           Alcotest.test_case "scheduled stek created_at" `Quick test_scheduled_stek_created_at;
+          Alcotest.test_case "created_at agrees on issue and decrypt" `Quick
+            test_stek_created_at_issue_decrypt_agree;
+          Alcotest.test_case "rotate window key keeps period stamp" `Quick
+            test_rotate_decrypt_window_created_at;
+          Alcotest.test_case "per-process stek dates from process start" `Quick
+            test_per_process_stek_created_at;
         ] );
       ( "kex-reuse",
         [
