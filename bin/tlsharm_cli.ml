@@ -304,8 +304,8 @@ let reproduce_cmd =
    quantities, so the rendered metrics JSON is identical for any
    --jobs within a regime (and across serial/parallel too, since both
    regimes probe the same domain-day schedule). *)
-let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint ~metrics_out
-    ~trace_out () =
+let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint ~stream_out
+    ~metrics_out ~trace_out () =
   let world = Simnet.World.create ~config:(world_config ~domains ~seed) () in
   let injector =
     if profile.Faults.Profile.name = "none" then None
@@ -315,48 +315,79 @@ let run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint ~me
   let obs =
     if metrics_out <> None || trace_out <> None then Some (Obs.Recorder.create ()) else None
   in
-  (* Kernel counters are process-global; the snapshot window scopes the
-     published [kernel.*] deltas to the campaign itself (excluding world
-     construction, which runs before telemetry starts). *)
-  let kernel_before = Obs.Kernel.snapshot () in
-  let t =
-    if jobs > 1 then
-      Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel ?checkpoint ?obs world ~days
-        ()
-    else Scanner.Daily_scan.run ?injector ~retry ~funnel ?checkpoint ?obs world ~days ()
+  (* The streaming sink replaces the end-of-run CSV: rows are appended
+     per completed day and never held in memory (the scan runs with
+     retain_rows:false), which keeps RSS flat at --domains 100000.
+     Reassemble with `tlsharm analyze DIR` / Daily_scan.load_stream. *)
+  let sink =
+    match stream_out with
+    | None -> Ok None
+    | Some dir ->
+        let start_day = Simnet.Clock.now (Simnet.World.clock world) / Simnet.Clock.day in
+        Result.map Option.some
+          (Scanner.Stream_sink.create ~dir
+             ~manifest:
+               [ ("start_day", string_of_int start_day); ("n_days", string_of_int days) ])
   in
-  Option.iter
-    (fun r ->
-      Obs.Kernel.add_to_metrics (Obs.Recorder.metrics r)
-        (Obs.Kernel.diff ~before:kernel_before ~after:(Obs.Kernel.snapshot ())))
-    obs;
-  (match (obs, metrics_out) with
-  | Some r, Some path ->
-      Durable.Atomic_io.write path (Obs.Recorder.metrics_json_string r);
-      Printf.printf "wrote campaign metrics to %s\n" path
-  | _ -> ());
-  (match (obs, trace_out) with
-  | Some r, Some path ->
-      Durable.Atomic_io.write path (Obs.Recorder.trace_json_string r);
-      Printf.printf "wrote campaign trace spans to %s\n" path
-  | _ -> ());
-  Scanner.Daily_scan.save t out;
-  Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
-    (Array.length t.Scanner.Daily_scan.series)
-    out
-    (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else "");
-  if injector <> None then
-    print_string
-      (Analysis.Funnel_report.render
-         ~title:(Printf.sprintf "Campaign loss funnel (fault profile: %s)" profile.Faults.Profile.name)
-         funnel);
-  `Ok ()
+  match sink with
+  | Error e -> `Error (false, e)
+  | Ok sink ->
+      let retain_rows = sink = None in
+      (* Kernel counters are process-global; the snapshot window scopes the
+         published [kernel.*] deltas to the campaign itself (excluding world
+         construction, which runs before telemetry starts). *)
+      let kernel_before = Obs.Kernel.snapshot () in
+      let t =
+        if jobs > 1 then
+          Scanner.Parallel_campaign.run ~jobs ?injector ~retry ~funnel ?checkpoint ?sink
+            ~retain_rows ?obs world ~days ()
+        else
+          Scanner.Daily_scan.run ?injector ~retry ~funnel ?checkpoint ?sink ~retain_rows ?obs
+            world ~days ()
+      in
+      Option.iter
+        (fun r ->
+          Obs.Kernel.add_to_metrics (Obs.Recorder.metrics r)
+            (Obs.Kernel.diff ~before:kernel_before ~after:(Obs.Kernel.snapshot ())))
+        obs;
+      (match (obs, metrics_out) with
+      | Some r, Some path ->
+          Durable.Atomic_io.write path (Obs.Recorder.metrics_json_string r);
+          Printf.printf "wrote campaign metrics to %s\n" path
+      | _ -> ());
+      (match (obs, trace_out) with
+      | Some r, Some path ->
+          Durable.Atomic_io.write path (Obs.Recorder.trace_json_string r);
+          Printf.printf "wrote campaign trace spans to %s\n" path
+      | _ -> ());
+      (match sink with
+      | Some s ->
+          Printf.printf "streamed %d-day campaign over %d domains to %s (%d rows)%s\n" days
+            (Array.length t.Scanner.Daily_scan.series)
+            (Scanner.Stream_sink.dir s)
+            (Scanner.Stream_sink.rows_written s)
+            (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else "")
+      | None ->
+          Scanner.Daily_scan.save t out;
+          Printf.printf "wrote %d-day campaign over %d domains to %s%s\n" days
+            (Array.length t.Scanner.Daily_scan.series)
+            out
+            (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else ""));
+      if injector <> None then
+        print_string
+          (Analysis.Funnel_report.render
+             ~title:
+               (Printf.sprintf "Campaign loss funnel (fault profile: %s)"
+                  profile.Faults.Profile.name)
+             funnel);
+      `Ok ()
 
 (* The manifest pins everything [resume] needs to rebuild the identical
    run: world parameters, campaign shape, the resolved retry policy
    (not the raw flags, so flag defaults can change without orphaning old
    checkpoint directories) and the output path. *)
-let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry.policy) ~out =
+let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry.policy) ~out
+    ~stream_out =
   [
     ("mode", "campaign");
     ("seed", seed);
@@ -367,10 +398,11 @@ let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry
     ("retries", string_of_int retry.Faults.Retry.max_attempts);
     ("deadline", string_of_int retry.Faults.Retry.deadline);
     ("output", out);
+    ("stream_out", Option.value stream_out ~default:"");
   ]
 
 let campaign domains days seed jobs out fault_profile retries deadline checkpoint_dir
-    metrics_out trace_out =
+    stream_out metrics_out trace_out =
   match validate_sizes ~domains ~days ~jobs with
   | Error e -> `Error (false, e)
   | Ok () -> (
@@ -383,14 +415,28 @@ let campaign domains days seed jobs out fault_profile retries deadline checkpoin
         | Some dir ->
             Result.map Option.some
               (Durable.Checkpoint.init ~dir
-                 ~manifest:(campaign_manifest ~domains ~days ~seed ~jobs ~profile ~retry ~out))
+                 ~manifest:
+                   (campaign_manifest ~domains ~days ~seed ~jobs ~profile ~retry ~out
+                      ~stream_out))
       in
       match checkpoint with
       | Error e -> `Error (false, e)
       | Ok checkpoint ->
           guard
             (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry ~checkpoint
-               ~metrics_out ~trace_out)))
+               ~stream_out ~metrics_out ~trace_out)))
+
+let stream_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stream-out" ] ~docv:"DIR"
+        ~doc:
+          "Stream each completed day's rows into $(i,DIR) (one append-only spool per scan \
+           stream) instead of holding the full observation matrix in memory for a final CSV \
+           save — memory stays flat regardless of --domains. The streamed archive is \
+           byte-equivalent to the CSV one: $(b,tlsharm analyze) $(i,DIR) reassembles it, and it \
+           is identical at any --jobs and across checkpoint resumes.")
 
 let metrics_out_arg =
   Arg.(
@@ -436,7 +482,8 @@ let campaign_cmd =
     Term.(
       ret
         (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out $ fault_profile_arg
-       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg $ metrics_out_arg $ trace_out_arg))
+       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg $ stream_out_arg $ metrics_out_arg
+       $ trace_out_arg))
 
 (* --- resume -------------------------------------------------------------------------------- *)
 
@@ -462,6 +509,14 @@ let resume dir jobs_override metrics_out trace_out =
           with
           | Some "campaign", Some seed, Some domains, Some days, Some jobs, Some profile,
             Some retries, Some deadline, Some out -> (
+              (* Optional: absent from checkpoints taken before streaming
+                 sinks existed, and recorded as "" when the run did not
+                 stream. The resumed run re-creates the sink and replays
+                 every completed day into it, so the streamed archive is
+                 byte-identical to an uninterrupted run's. *)
+              let stream_out =
+                match field "stream_out" with None | Some "" -> None | Some dir -> Some dir
+              in
               match fault_setup profile (Some retries) (Some deadline) with
               | Error e -> `Error (false, e)
               | Ok (profile, retry) -> (
@@ -489,7 +544,7 @@ let resume dir jobs_override metrics_out trace_out =
                   | Ok jobs ->
                       guard
                         (run_campaign ~domains ~days ~seed ~jobs ~out ~profile ~retry
-                           ~checkpoint:(Some store) ~metrics_out ~trace_out)))
+                           ~checkpoint:(Some store) ~stream_out ~metrics_out ~trace_out)))
           | Some mode, _, _, _, _, _, _, _, _ when mode <> "campaign" ->
               `Error (false, Printf.sprintf "%s: cannot resume mode %S" dir mode)
           | _ -> `Error (false, dir ^ ": manifest is missing campaign fields")))
@@ -521,7 +576,11 @@ let resume_cmd =
 
 let analyze path =
   guard @@ fun () ->
-  match Scanner.Daily_scan.load path with
+  let load =
+    if Sys.file_exists path && Sys.is_directory path then Scanner.Daily_scan.load_stream
+    else Scanner.Daily_scan.load
+  in
+  match load path with
   | Error e -> `Error (false, e)
   | Ok campaign ->
       let report field name paper =
@@ -550,9 +609,17 @@ let analyze path =
       `Ok ()
 
 let analyze_cmd =
-  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Campaign CSV.") in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Campaign CSV, or a --stream-out sink directory.")
+  in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Re-analyze an archived campaign CSV (secret-lifetime spans).")
+    (Cmd.info "analyze"
+       ~doc:
+         "Re-analyze an archived campaign (secret-lifetime spans) from a CSV file or a \
+          --stream-out directory.")
     Term.(ret (const analyze $ path))
 
 (* --- metrics-report -------------------------------------------------------------------- *)

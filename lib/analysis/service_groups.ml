@@ -10,6 +10,11 @@
    Group sizes are reported both as sampled-member counts and as weighted
    counts (estimating real Top Million domain counts). *)
 
+(* The union-find implementation lives in the scanner layer (the
+   parallel campaign sharder partitions by the same shared-state
+   relation); alias it rather than maintaining a duplicate here. *)
+module Union_find = Scanner.Union_find
+
 type group = {
   members : string list;
   sampled_size : int;

@@ -1,0 +1,105 @@
+(* Append-only block log for streaming archives.
+
+   [Atomic_io] is the right tool for artifacts written once at the end of
+   a run, but a streaming campaign sink appends one block per scan day
+   for weeks — rewriting the whole file atomically per day would be
+   quadratic in campaign length. A spool instead appends framed blocks
+   to one open file and flushes after each, so a crash loses at most the
+   block being written, and the reader can tell exactly how much of the
+   stream is trustworthy:
+
+     #tlsharm-spool v1
+     #block 0 bytes=N
+     <N bytes of payload>
+     #block 1 bytes=M
+     ...
+     #spool-end blocks=K
+
+   The framing makes three states distinguishable at read time: a
+   *complete* spool (footer present, count matches), a *torn* spool (no
+   footer; the valid block prefix is returned and the torn tail
+   dropped — the crash-resume path re-emits it), and a *damaged* spool
+   (malformed header or frame), which is an error rather than a silent
+   truncation. *)
+
+let header = "#tlsharm-spool v1"
+
+type writer = {
+  oc : out_channel;
+  mutable blocks : int;
+  mutable closed : bool;
+}
+
+let create path =
+  let oc = open_out_bin path in
+  output_string oc header;
+  output_char oc '\n';
+  flush oc;
+  { oc; blocks = 0; closed = false }
+
+let add_block w payload =
+  if w.closed then invalid_arg "Durable.Spool.add_block: writer is closed";
+  Printf.fprintf w.oc "#block %d bytes=%d\n" w.blocks (String.length payload);
+  output_string w.oc payload;
+  w.blocks <- w.blocks + 1;
+  (* Flush per block: the crash window is one block, not the whole
+     stream. fsync is deferred to [close] — a spool's durability story is
+     "resume re-emits the tail", not "every block survives powercuts". *)
+  flush w.oc
+
+let close w =
+  if not w.closed then begin
+    Printf.fprintf w.oc "#spool-end blocks=%d\n" w.blocks;
+    flush w.oc;
+    (try Unix.fsync (Unix.descr_of_out_channel w.oc) with Unix.Unix_error _ -> ());
+    close_out w.oc;
+    w.closed <- true
+  end
+
+(* Frame parsing: blocks are consumed while their frames verify; the
+   first torn or unrecognized frame (truncated marker, short payload,
+   out-of-sequence index) ends the valid prefix and the tail is
+   dropped — the crash-resume path re-emits it. Only a missing or
+   malformed header is an error, because then nothing about the file can
+   be trusted. *)
+exception Torn
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content ->
+      let len = String.length content in
+      let line_end pos =
+        match String.index_from_opt content pos '\n' with Some i -> i | None -> len
+      in
+      let hdr_end = line_end 0 in
+      if hdr_end >= len || not (String.equal (String.sub content 0 hdr_end) header) then
+        Error (path ^ ": not a spool file (bad header)")
+      else begin
+        let blocks = ref [] in
+        let n = ref 0 in
+        let complete = ref false in
+        (try
+           let pos = ref (hdr_end + 1) in
+           while !pos < len do
+             let e = line_end !pos in
+             if e >= len then raise Torn;
+             let marker = String.sub content !pos (e - !pos) in
+             match Scanf.sscanf_opt marker "#block %d bytes=%d" (fun i b -> (i, b)) with
+             | Some (i, bytes) when i = !n && bytes >= 0 ->
+                 let start = e + 1 in
+                 if start + bytes > len then raise Torn;
+                 blocks := String.sub content start bytes :: !blocks;
+                 incr n;
+                 pos := start + bytes
+             | Some _ -> raise Torn
+             | None -> (
+                 match Scanf.sscanf_opt marker "#spool-end blocks=%d" (fun k -> k) with
+                 | Some k when k = !n ->
+                     complete := true;
+                     pos := len
+                 | Some _ | None -> raise Torn)
+           done
+         with Torn -> ());
+        Ok (List.rev !blocks, !complete)
+      end

@@ -1,0 +1,33 @@
+(** Append-only block log for streaming archives.
+
+    Where {!Atomic_io} rewrites a whole artifact atomically (right for
+    end-of-run outputs), a spool appends framed blocks to one open file
+    and flushes after each block, so a long campaign can emit one block
+    per scan day in O(block) rather than O(file). The framing lets the
+    reader distinguish a complete spool from one torn by a crash: torn
+    trailing bytes are dropped and the valid block prefix returned, and
+    the resume path re-emits the missing tail. *)
+
+type writer
+
+val create : string -> writer
+(** [create path] truncates [path] and starts a fresh spool. The
+    previous content is intentionally discarded: a rerun (including a
+    checkpoint resume, which replays all completed days) re-emits every
+    block, so the spool is byte-identical whether or not the run was
+    interrupted. *)
+
+val add_block : writer -> string -> unit
+(** Append one framed block and flush it to the OS. Raises
+    [Invalid_argument] after {!close}. *)
+
+val close : writer -> unit
+(** Write the end-of-spool footer, fsync, and close. Idempotent. A spool
+    without its footer reads back as incomplete. *)
+
+val read : string -> (string list * bool, string) result
+(** [read path] returns [(blocks, complete)]: the longest valid prefix
+    of blocks, and whether the footer was present with a matching block
+    count. Torn or unrecognized trailing frames are dropped silently
+    (they are exactly what a crash leaves behind); only a missing or
+    malformed file header is an [Error]. *)

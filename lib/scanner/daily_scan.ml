@@ -396,13 +396,19 @@ end
 
 (* Build the final per-domain series from the (i, day) record matrix;
    [trusted] comes from the default probe's trust cache, which either
-   the scan populated or the checkpoint-restore path refilled. *)
+   the scan populated or the checkpoint-restore path refilled. When the
+   scan ran without row retention (streaming sink only), [records] is
+   [None] and the series carry their metadata with empty [days]: the
+   rows live in the sink, not in memory. *)
 let build_series ~(default_probe : Probe.t) ~(domains : Simnet.World.domain array) ~days records =
   Array.mapi
     (fun i d ->
       let days_arr =
-        Array.init days (fun day ->
-            match records.(i).(day) with Some r -> r | None -> blank_record day)
+        match records with
+        | None -> [||]
+        | Some m ->
+            Array.init days (fun day ->
+                match m.(i).(day) with Some r -> r | None -> blank_record day)
       in
       {
         domain = Simnet.World.domain_name d;
@@ -415,6 +421,45 @@ let build_series ~(default_probe : Probe.t) ~(domains : Simnet.World.domain arra
         days = days_arr;
       })
     domains
+
+(* --- Streaming archive codec -------------------------------------------------
+
+   The streamed representation of one scan stream: one spool block per
+   day holding every member's row in member order (reusing the
+   checkpoint row codec, so there is exactly one row grammar in the
+   project), and a trailer block carrying the per-domain facts that are
+   only known at campaign end — chiefly the trust verdicts. Member
+   *order* is the contract: day blocks reference domains positionally,
+   and the trailer names them, which keeps a 100k-domain day block free
+   of 100k repeated domain/rank/weight prefixes. *)
+
+let stream_day_payload ~day ~(rows : day_record option array) =
+  let b = Buffer.create (16 * Array.length rows) in
+  Printf.bprintf b "day=%d\nrows=%d\n" day (Array.length rows);
+  Array.iter
+    (fun r ->
+      Buffer.add_string b (Ckpt.row_line r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let stream_day s ~day ~rows =
+  let present = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 rows in
+  Stream_sink.append_day s ~rows:present (stream_day_payload ~day ~rows)
+
+let emit_stream_day sink ~day ~rows =
+  match sink with None -> () | Some s -> stream_day s ~day ~rows
+
+let stream_finish s ~trusted ~(domains : Simnet.World.domain array) =
+  let b = Buffer.create (32 * Array.length domains) in
+  Printf.bprintf b "trailer\ndomains=%d\n" (Array.length domains);
+  Array.iter
+    (fun d ->
+      let name = Simnet.World.domain_name d in
+      Printf.bprintf b "%s,%d,%.17g,%b,%b\n" name (Simnet.World.domain_rank d)
+        (Simnet.World.domain_weight d) (trusted name) (Simnet.World.domain_stable d))
+    domains;
+  Stream_sink.finish s ~trailer:(Buffer.contents b)
 
 (* Scan [domains] for [days] days, driving [clock] (both probes must read
    it, and both must share one funnel). This is the sequential inner loop
@@ -442,7 +487,7 @@ let build_series ~(default_probe : Probe.t) ~(domains : Simnet.World.domain arra
    mid-flight (endpoint RNGs, kex caches, session caches and STEK
    rotations make the world state surface enormous); determinism makes
    the re-execution exact, and the byte-compare proves it. *)
-let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
+let scan_stream ?checkpoint ?sink ?(retain = true) ?obs ~clock ~default_probe ~dhe_probe
     ~(domains : Simnet.World.domain array) ~days ?(progress = fun _ -> ()) () =
   let start = Simnet.Clock.now clock in
   (* [scan.days] is a gauge (max-merge): every stream of one campaign
@@ -459,10 +504,16 @@ let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
     | None -> 0
     | Some stream -> Durable.Checkpoint.valid_prefix ~decode:decode_ok stream ~days
   in
+  let finish_sink () =
+    let trusted name =
+      Option.value ~default:false (Hashtbl.find_opt default_probe.Probe.trust_cache name)
+    in
+    Option.iter (fun s -> stream_finish s ~trusted ~domains) sink
+  in
   if prefix >= days && days > 0 then begin
     (* Every day is on disk and verified: restore without scanning. *)
     let stream = Option.get checkpoint in
-    let records = Array.make_matrix n days None in
+    let records = if retain then Some (Array.make_matrix n days None) else None in
     let restore_day day =
       match Durable.Checkpoint.read_day stream ~day with
       | Error e ->
@@ -472,7 +523,10 @@ let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
           match Ckpt.decode ~members:n payload with
           | Error e -> Durable.Checkpoint.mismatch "day %d: %s" day e
           | Ok s ->
-              Array.iteri (fun i r -> records.(i).(day) <- r) s.Ckpt.s_rows;
+              (match records with
+              | Some m -> Array.iteri (fun i r -> m.(i).(day) <- r) s.Ckpt.s_rows
+              | None -> ());
+              emit_stream_day sink ~day ~rows:s.Ckpt.s_rows;
               s)
     in
     for day = 0 to days - 2 do
@@ -485,12 +539,33 @@ let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
       last.Ckpt.s_trust;
     Faults.Funnel.absorb funnel last.Ckpt.s_funnel;
     Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
+    finish_sink ();
     build_series ~default_probe ~domains ~days records
   end
   else begin
-  let records = Array.make_matrix n days None in
+  let records = if retain then Some (Array.make_matrix n days None) else None in
+  (* Per-day scratch, reused across days so a long campaign's inner loop
+     allocates nothing proportional to [n * days]: this day's rows (also
+     the checkpoint payload source), the default sweep's observations,
+     and the day's present-member index list. Presence was previously
+     recomputed per sweep — twice per domain-day — and the second sweep
+     walked every member; both sweeps now touch only present members. *)
+  let rows : day_record option array = Array.make n None in
+  let default_obs = Array.make n None in
+  let present = Array.make (max n 1) 0 in
   for day = 0 to days - 1 do
     progress day;
+    Array.fill rows 0 n None;
+    Array.fill default_obs 0 n None;
+    let n_present = ref 0 in
+    Array.iteri
+      (fun i d ->
+        if Simnet.World.in_list_on_day d ~day then begin
+          present.(!n_present) <- i;
+          incr n_present
+        end)
+      domains;
+    let n_present = !n_present in
     (* Default sweep at 00:30, DHE sweep at 02:00 local study time. The
        [scan.day] span covers exactly that 90-virtual-minute window; the
        clock is positioned before the span opens so its simulated
@@ -500,40 +575,37 @@ let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
       ~attrs:[ ("day", string_of_int day) ]
       ~now:(fun () -> Simnet.Clock.now clock)
       (fun () ->
-    let default_obs = Array.make n None in
-    Array.iteri
-      (fun i d ->
-        if Simnet.World.in_list_on_day d ~day then begin
-          let obs, _ = Probe.connect default_probe ~domain:(Simnet.World.domain_name d) in
-          default_obs.(i) <- Some obs
-        end)
-      domains;
+    for p = 0 to n_present - 1 do
+      let i = present.(p) in
+      let o, _ =
+        Probe.connect default_probe ~domain:(Simnet.World.domain_name domains.(i))
+      in
+      default_obs.(i) <- Some o
+    done;
     Simnet.Clock.set clock (start + (day * Simnet.Clock.day) + (2 * Simnet.Clock.hour));
-    Array.iteri
-      (fun i d ->
-        if Simnet.World.in_list_on_day d ~day then begin
-          Obs.Recorder.incr_opt obs "scan.domain_days";
-          let dhe_obs, _ = Probe.connect dhe_probe ~domain:(Simnet.World.domain_name d) in
-          let default_o = default_obs.(i) in
-          records.(i).(day) <-
-            Some
-              {
-                day;
-                present = true;
-                default_ok =
-                  (match default_o with Some o -> o.Observation.ok | None -> false);
-                stek_id = Option.bind default_o (fun o -> o.Observation.stek_id);
-                ticket_hint = Option.bind default_o (fun o -> o.Observation.ticket_hint);
-                ecdhe_value = Option.bind default_o (fun o -> o.Observation.ecdhe_value);
-                dhe_ok = dhe_obs.Observation.ok;
-                dhe_value = dhe_obs.Observation.dhe_value;
-              }
-        end)
-      domains);
+    for p = 0 to n_present - 1 do
+      let i = present.(p) in
+      Obs.Recorder.incr_opt obs "scan.domain_days";
+      let dhe_obs, _ =
+        Probe.connect dhe_probe ~domain:(Simnet.World.domain_name domains.(i))
+      in
+      let default_o = default_obs.(i) in
+      rows.(i) <-
+        Some
+          {
+            day;
+            present = true;
+            default_ok = (match default_o with Some o -> o.Observation.ok | None -> false);
+            stek_id = Option.bind default_o (fun o -> o.Observation.stek_id);
+            ticket_hint = Option.bind default_o (fun o -> o.Observation.ticket_hint);
+            ecdhe_value = Option.bind default_o (fun o -> o.Observation.ecdhe_value);
+            dhe_ok = dhe_obs.Observation.ok;
+            dhe_value = dhe_obs.Observation.dhe_value;
+          }
+    done);
     (match checkpoint with
     | None -> ()
     | Some stream ->
-        let rows = Array.init n (fun i -> records.(i).(day)) in
         let payload = Ckpt.encode ~day ~clock ~default_probe ~dhe_probe ~funnel ~rows in
         if day < prefix then begin
           (* Replay verification: the re-run day must reproduce the
@@ -550,17 +622,26 @@ let scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe
                  replace it with the freshly recomputed snapshot. *)
               Durable.Checkpoint.write_day stream ~day payload
         end
-        else Durable.Checkpoint.write_day stream ~day payload)
+        else Durable.Checkpoint.write_day stream ~day payload);
+    (match records with
+    | Some m ->
+        for i = 0 to n - 1 do
+          m.(i).(day) <- rows.(i)
+        done
+    | None -> ());
+    emit_stream_day sink ~day ~rows
   done;
   (* Leave the clock at the end of the campaign. *)
   Simnet.Clock.set clock (start + (days * Simnet.Clock.day));
+  finish_sink ();
   build_series ~default_probe ~domains ~days records
   end
 
 let run_subset ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress () =
   scan_stream ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
 
-let run ?injector ?retry ?funnel ?checkpoint ?obs world ~days ?progress () =
+let run ?injector ?retry ?funnel ?checkpoint ?sink ?(retain_rows = true) ?obs world ~days
+    ?progress () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
   (* The campaign's probes share a campaign-private funnel that is
@@ -580,9 +661,133 @@ let run ?injector ?retry ?funnel ?checkpoint ?obs world ~days ?progress () =
   let checkpoint =
     Option.map (fun store -> Durable.Checkpoint.stream store "serial") checkpoint
   in
+  let sink = Option.map (fun s -> Stream_sink.stream s "serial") sink in
   Obs.Recorder.gauge_max_opt obs "campaign.days" days;
   let series =
-    scan_stream ?checkpoint ?obs ~clock ~default_probe ~dhe_probe ~domains ~days ?progress ()
+    scan_stream ?checkpoint ?sink ~retain:retain_rows ?obs ~clock ~default_probe ~dhe_probe
+      ~domains ~days ?progress ()
   in
   Option.iter (fun f -> Faults.Funnel.absorb f campaign_funnel) funnel;
   { start_day = start / Simnet.Clock.day; n_days = days; series }
+
+(* --- Streamed archive loader -------------------------------------------------
+
+   Reassemble a campaign from a {!Stream_sink} directory: manifest for
+   the day range, one spool per stream, trailer for per-domain metadata.
+   The result is sorted by (rank, domain) — the same order both [run]
+   (world order is rank order) and {!Parallel_campaign.run} produce — so
+   [save] on a loaded streamed archive is byte-identical to [save] on
+   the equivalent retained-in-memory campaign. *)
+
+let load_stream dir =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error ("stream archive: " ^ s)) fmt in
+  let* manifest = Stream_sink.manifest ~dir in
+  let int_field key =
+    match List.assoc_opt key manifest with
+    | None -> err "manifest is missing %s" key
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> err "bad manifest field %s=%S" key v)
+  in
+  let* start_day = int_field "start_day" in
+  let* n_days = int_field "n_days" in
+  let* () = if n_days > 0 then Ok () else err "n_days must be positive" in
+  let* names = Stream_sink.stream_names ~dir in
+  let* () = if names = [] then err "no row streams in %s" dir else Ok () in
+  let parse_trailer name trailer =
+    match content_lines trailer with
+    | "trailer" :: counted :: metas -> (
+        match Scanf.sscanf_opt counted "domains=%d" Fun.id with
+        | Some n when n = List.length metas ->
+            let parse_meta l =
+              match String.split_on_char ',' l with
+              | [ domain; rank; weight; trusted; stable ] -> (
+                  match
+                    ( int_of_string_opt rank,
+                      float_of_string_opt weight,
+                      bool_of_string_opt trusted,
+                      bool_of_string_opt stable )
+                  with
+                  | Some rank, Some weight, Some trusted, Some stable ->
+                      Ok (domain, rank, weight, trusted, stable)
+                  | _ -> err "stream %S: bad trailer entry %S" name l)
+              | _ -> err "stream %S: bad trailer entry %S" name l
+            in
+            List.fold_left
+              (fun acc l ->
+                let* acc = acc in
+                let* m = parse_meta l in
+                Ok (m :: acc))
+              (Ok []) metas
+            |> Result.map List.rev
+        | Some n -> err "stream %S: trailer declares %d domains, carries %d" name n (List.length metas)
+        | None -> err "stream %S: bad trailer count line %S" name counted)
+    | _ -> err "stream %S: malformed trailer" name
+  in
+  let parse_day_block name ~day ~members block =
+    match content_lines block with
+    | day_line :: rows_line :: rows -> (
+        match
+          (Scanf.sscanf_opt day_line "day=%d" Fun.id, Scanf.sscanf_opt rows_line "rows=%d" Fun.id)
+        with
+        | Some d, Some r when d = day && r = members && List.length rows = members ->
+            List.fold_left
+              (fun acc l ->
+                let* acc = acc in
+                let* row = Ckpt.parse_row ~day l in
+                Ok (row :: acc))
+              (Ok []) rows
+            |> Result.map (fun l -> Array.of_list (List.rev l))
+        | Some d, _ when d <> day -> err "stream %S: expected day %d, found day %d" name day d
+        | _ -> err "stream %S: malformed day block header for day %d" name day
+    )
+    | _ -> err "stream %S: malformed day block for day %d" name day
+  in
+  let load_one name =
+    let* blocks, trailer = Stream_sink.read_stream ~dir name in
+    let* metas = parse_trailer name trailer in
+    let members = List.length metas in
+    let* () =
+      if List.length blocks = n_days then Ok ()
+      else err "stream %S holds %d day blocks, manifest says %d" name (List.length blocks) n_days
+    in
+    let records = Array.make_matrix members n_days None in
+    let* () =
+      List.fold_left
+        (fun acc block ->
+          let* day = acc in
+          let* rows = parse_day_block name ~day ~members block in
+          Array.iteri (fun i r -> records.(i).(day) <- r) rows;
+          Ok (day + 1))
+        (Ok 0) blocks
+      |> Result.map ignore
+    in
+    List.mapi
+      (fun i (domain, rank, weight, trusted, stable) ->
+        {
+          domain;
+          rank;
+          weight;
+          trusted;
+          stable;
+          days =
+            Array.init n_days (fun day ->
+                match records.(i).(day) with Some r -> r | None -> blank_record day);
+        })
+      metas
+    |> Result.ok
+  in
+  let* series_lists =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* s = load_one name in
+        Ok (s :: acc))
+      (Ok []) names
+    |> Result.map List.rev
+  in
+  let series = Array.of_list (List.concat series_lists) in
+  Array.sort (fun a b -> compare (a.rank, a.domain) (b.rank, b.domain)) series;
+  Ok { start_day; n_days; series }

@@ -31,6 +31,8 @@ val run :
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
   ?checkpoint:Durable.Checkpoint.t ->
+  ?sink:Stream_sink.t ->
+  ?retain_rows:bool ->
   ?obs:Obs.Recorder.t ->
   Simnet.World.t ->
   days:int ->
@@ -43,9 +45,14 @@ val run :
     telemetry of both sweeps (recorded into a campaign-private funnel
     and absorbed at the end). [checkpoint] snapshots each completed day
     into the store's ["serial"] stream and resumes from the longest
-    valid snapshot prefix — see {!scan_stream}. [obs] receives probe
-    counters, [scan.day] spans and campaign gauges; it never perturbs
-    the scan, so the archive is byte-identical with it absent. *)
+    valid snapshot prefix — see {!scan_stream}. [sink] streams each
+    day's rows into the sink's ["serial"] stream as the day completes;
+    with [retain_rows:false] (only sensible alongside a sink) the
+    observation matrix is never held in memory and the returned [t]
+    carries per-domain metadata with empty [days] arrays — recover the
+    rows with {!load_stream}. [obs] receives probe counters, [scan.day]
+    spans and campaign gauges; it never perturbs the scan, so the
+    archive is byte-identical with it absent. *)
 
 val run_subset :
   ?obs:Obs.Recorder.t ->
@@ -66,6 +73,8 @@ val run_subset :
 
 val scan_stream :
   ?checkpoint:Durable.Checkpoint.stream ->
+  ?sink:Stream_sink.stream ->
+  ?retain:bool ->
   ?obs:Obs.Recorder.t ->
   clock:Simnet.Clock.t ->
   default_probe:Probe.t ->
@@ -75,16 +84,22 @@ val scan_stream :
   ?progress:(int -> unit) ->
   unit ->
   domain_series array
-(** {!run_subset} with crash recovery. Both probes must share one
-    funnel. With [checkpoint], every completed day is snapshotted
-    (clock, probe DRBG states, trust cache, funnel, observed rows) into
-    the stream. On entry, the longest valid snapshot prefix is loaded: a
-    full prefix restores the result without probing; a partial one
-    re-runs the scan from day 0, verifying each replayed day
+(** {!run_subset} with crash recovery and streaming. Both probes must
+    share one funnel. With [checkpoint], every completed day is
+    snapshotted (clock, probe DRBG states, trust cache, funnel, observed
+    rows) into the stream. On entry, the longest valid snapshot prefix
+    is loaded: a full prefix restores the result without probing; a
+    partial one re-runs the scan from day 0, verifying each replayed day
     byte-for-byte against its snapshot (raising
-    {!Durable.Checkpoint.Mismatch} on divergence) before scanning the
-    remaining days fresh. Corrupt or truncated snapshots end the prefix
-    — resume falls back to the last day that verifies. *)
+    {!Durable.Checkpoint.Mismatch}) before scanning the remaining days
+    fresh. Corrupt or truncated snapshots end the prefix — resume falls
+    back to the last day that verifies.
+
+    With [sink], each day's rows (scanned or checkpoint-restored — so
+    resumed runs stream byte-identical spools) are appended as the day
+    completes, and the stream's trailer is written at the end. With
+    [retain ~ false] no [n * days] row matrix is allocated and the
+    returned series have empty [days] arrays. *)
 
 val csv_header : string
 
@@ -98,3 +113,21 @@ val load : string -> (t, string) result
     [n_days], or rows whose day index falls outside the declared range —
     a file that contradicts its own metadata is reported, not silently
     repaired. *)
+
+val stream_day : Stream_sink.stream -> day:int -> rows:day_record option array -> unit
+(** Append one day's rows (member order; [None] = absent that day) to a
+    stream. Exposed for {!Parallel_campaign}, whose abandoned-shard path
+    must emit degraded rows without a probe in hand. *)
+
+val stream_finish : Stream_sink.stream -> trusted:(string -> bool) -> domains:Simnet.World.domain array -> unit
+(** Write the end-of-stream trailer ([trusted] is consulted per domain
+    name) and seal the spool. *)
+
+val load_stream : string -> (t, string) result
+(** Reassemble a campaign from a {!Stream_sink} directory written by a
+    streamed run. Series are sorted by (rank, domain) — the order both
+    the serial and parallel runners produce — so {!save} on the result
+    is byte-identical to {!save} on the same campaign run with rows
+    retained in memory. An interrupted stream (spool without footer or
+    trailer) is an [Error] naming the stream; finish it by resuming the
+    campaign from its checkpoint. *)

@@ -14,12 +14,21 @@
    - keys are unioned through {!Union_find}, so domains connected
      transitively (a.com shares an endpoint with b.com, whose operator
      shares STEKs with c.com's) land in one connectivity component;
-   - components are packed, in world (rank) order, into shards of
-     roughly [target] domains to amortize per-shard probe setup.
+   - components are packed into shards of balanced *estimated probe
+     cost* (longest-processing-time first-fit into ~[n/target] bins),
+     not balanced member count: an HTTPS domain-day costs ~60x a
+     no-HTTPS one, so count-balanced shards hide an extreme work
+     imbalance that made the parallel runner slower than serial.
 
-   Each shard then runs the ordinary {!Daily_scan.run_subset} loop with
-   private probes on a private {!Simnet.Clock}, and a fixed pool of
-   [Domain.spawn] workers drains the shard queue. Two determinism
+   Shard ids are assigned heaviest-first. Combined with the atomic
+   fetch-and-add queue in [run] — idle workers keep claiming the next
+   unstarted shard until the queue is dry — that yields an LPT
+   work-stealing schedule: no worker ever sits idle while a shard is
+   unstarted, and the heaviest shards start earliest, so a straggler
+   cannot serialize the tail of the run.
+
+   Each shard then runs the ordinary {!Daily_scan.scan_stream} loop with
+   private probes on a private {!Simnet.Clock}. Two determinism
    properties fall out, and the test suite checks both:
 
    - shard composition and per-shard probe seeds depend only on the
@@ -38,14 +47,33 @@
 type shard = {
   shard_id : int;
   members : Simnet.World.domain array; (* in world (rank) order *)
+  weight : float; (* summed estimated probe cost of the members *)
+  max_component : float; (* heaviest unsplittable component packed in *)
 }
 
+(* Per-domain probe cost estimate driving the packing. An HTTPS
+   domain-day runs two full handshakes (key exchange, ticket mint,
+   chain verification); a no-HTTPS domain-day is two refused connects.
+   Measured on the bench worlds these differ by ~60x; the constant only
+   needs the right order of magnitude for the bins to balance, not
+   calibration. *)
+let https_cost = 64.0
+let estimated_cost d = if Simnet.World.domain_has_https d then https_cost else 1.0
+
 (* Group domains into connectivity components via their shared-state
-   keys, then pack components into shards of roughly [target] members.
-   Deterministic in world order; independent of any worker count. *)
-let shards ?(target = 256) world =
+   keys, then pack components into ~[n/target] shards of balanced
+   estimated cost: components sorted heaviest first (ties by lowest
+   member index), each placed into the currently lightest bin (ties by
+   lowest bin index). Wholly deterministic in the world alone —
+   independent of any worker count — and the sort+first-fit gives the
+   classic LPT bound: a bin exceeds 2x the mean weight only if it holds
+   a single component heavier than the mean, which no packing could
+   split. Bins are finally renumbered heaviest-first so the run queue
+   drains them in LPT order. *)
+let shards ?(target = 128) world =
   if target <= 0 then invalid_arg "Parallel_campaign.shards: target must be positive";
   let domains = Simnet.World.domains world in
+  let n = Array.length domains in
   let uf = Union_find.create () in
   let keys =
     Array.map
@@ -60,8 +88,8 @@ let shards ?(target = 256) world =
   (* Component representative per domain; no-HTTPS domains have no keys
      and are free agents packable anywhere. *)
   let repr i = match keys.(i) with [] -> None | k :: _ -> Some (Union_find.find uf k) in
-  (* Bucket domain indices by component, keeping first-seen order of
-     components and world order within each. *)
+  (* Bucket domain indices by component, keeping world order within each;
+     keyless domains are singleton components. *)
   let comp_order = ref [] in
   let comp_members : (string, int list ref) Hashtbl.t = Hashtbl.create 1024 in
   let singletons = ref [] in
@@ -80,35 +108,52 @@ let shards ?(target = 256) world =
     List.rev_map (fun r -> List.rev !(Hashtbl.find comp_members r)) !comp_order
     @ List.rev_map (fun i -> [ i ]) !singletons
   in
-  (* Greedy packing: components in first-seen order, a shard closes once
-     it reaches [target] members. A component larger than [target] gets a
-     shard of its own — it cannot be split. *)
-  let shards = ref [] in
-  let current = ref [] in
-  let current_n = ref 0 in
-  let close () =
-    if !current_n > 0 then begin
-      shards := List.rev !current :: !shards;
-      current := [];
-      current_n := 0
-    end
+  let comps =
+    List.map
+      (fun c ->
+        let w = List.fold_left (fun a i -> a +. estimated_cost domains.(i)) 0.0 c in
+        (c, w, List.fold_left min max_int c))
+      components
+    |> Array.of_list
   in
-  List.iter
-    (fun comp ->
-      let n = List.length comp in
-      if !current_n > 0 && !current_n + n > target then close ();
-      current := List.rev_append comp !current;
-      current_n := !current_n + n;
-      if !current_n >= target then close ())
-    components;
-  close ();
-  List.rev !shards
-  |> List.mapi (fun shard_id idxs ->
-         let idxs = List.sort compare idxs in
-         { shard_id; members = Array.of_list (List.map (fun i -> domains.(i)) idxs) })
-  |> Array.of_list
+  Array.sort
+    (fun (_, wa, ia) (_, wb, ib) -> if wa <> wb then compare wb wa else compare ia ib)
+    comps;
+  let n_bins = if n = 0 then 0 else min (max 1 ((n + target - 1) / target)) (Array.length comps) in
+  let bin_members = Array.make (max n_bins 1) [] in
+  let bin_weight = Array.make (max n_bins 1) 0.0 in
+  let bin_maxcomp = Array.make (max n_bins 1) 0.0 in
+  Array.iter
+    (fun (c, w, _) ->
+      let best = ref 0 in
+      for b = 1 to n_bins - 1 do
+        if bin_weight.(b) < bin_weight.(!best) then best := b
+      done;
+      bin_members.(!best) <- List.rev_append c bin_members.(!best);
+      bin_weight.(!best) <- bin_weight.(!best) +. w;
+      if w > bin_maxcomp.(!best) then bin_maxcomp.(!best) <- w)
+    comps;
+  let order = Array.init n_bins Fun.id in
+  let bin_min = Array.map (List.fold_left min max_int) bin_members in
+  Array.sort
+    (fun a b ->
+      if bin_weight.(a) <> bin_weight.(b) then compare bin_weight.(b) bin_weight.(a)
+      else compare bin_min.(a) bin_min.(b))
+    order;
+  Array.mapi
+    (fun shard_id b ->
+      let idxs = List.sort compare bin_members.(b) in
+      {
+        shard_id;
+        members = Array.of_list (List.map (fun i -> domains.(i)) idxs);
+        weight = bin_weight.(b);
+        max_component = bin_maxcomp.(b);
+      })
+    order
 
-let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
+let stream_name shard_id = Printf.sprintf "shard-%04d" shard_id
+
+let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint ?sink ?(retain_rows = true)
     ?(supervise = Durable.Supervisor.default) ?chaos ?obs world ~days () =
   let clock = Simnet.World.clock world in
   let start = Simnet.Clock.now clock in
@@ -143,6 +188,18 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
      present domain-day under [Worker_crash] — so a degraded campaign is
      visible in the §3-style loss table instead of silently thinner. *)
   let abandon (s : shard) =
+    let degraded_day d day =
+      {
+        Daily_scan.day;
+        present = Simnet.World.in_list_on_day d ~day;
+        default_ok = false;
+        stek_id = None;
+        ticket_hint = None;
+        ecdhe_value = None;
+        dhe_ok = false;
+        dhe_value = None;
+      }
+    in
     results.(s.shard_id) <-
       Array.map
         (fun d ->
@@ -153,19 +210,26 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
             trusted = false;
             stable = Simnet.World.domain_stable d;
             days =
-              Array.init days (fun day ->
-                  {
-                    Daily_scan.day;
-                    present = Simnet.World.in_list_on_day d ~day;
-                    default_ok = false;
-                    stek_id = None;
-                    ticket_hint = None;
-                    ecdhe_value = None;
-                    dhe_ok = false;
-                    dhe_value = None;
-                  });
+              (if retain_rows then Array.init days (degraded_day d) else [||]);
           })
         s.members;
+    (* A degraded shard must still seal its row stream, or the streamed
+       archive of an otherwise-successful campaign would be unloadable. *)
+    Option.iter
+      (fun sk ->
+        let stream = Stream_sink.stream sk (stream_name s.shard_id) in
+        let rows = Array.make (Array.length s.members) None in
+        for day = 0 to days - 1 do
+          Array.iteri
+            (fun i d ->
+              rows.(i) <-
+                (if Simnet.World.in_list_on_day d ~day then Some (degraded_day d day)
+                 else None))
+            s.members;
+          Daily_scan.stream_day stream ~day ~rows
+        done;
+        Daily_scan.stream_finish stream ~trusted:(fun _ -> false) ~domains:s.members)
+      sink;
     let f = Faults.Funnel.create () in
     for day = 0 to days - 1 do
       Array.iter
@@ -208,12 +272,13 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
     in
     let stream =
       if attempt = 0 then
-        Option.map
-          (fun store ->
-            Durable.Checkpoint.stream store (Printf.sprintf "shard-%04d" s.shard_id))
-          checkpoint
+        Option.map (fun store -> Durable.Checkpoint.stream store (stream_name s.shard_id)) checkpoint
       else None
     in
+    (* The row stream, unlike the checkpoint stream, is opened on every
+       attempt: opening truncates the spool, so a retry discards the
+       crashed attempt's partial rows and re-emits its own. *)
+    let sink_stream = Option.map (fun sk -> Stream_sink.stream sk (stream_name s.shard_id)) sink in
     let progress day =
       (match chaos with Some c -> c ~shard:s.shard_id ~attempt ~day | None -> ());
       match progress with Some p -> p ~shard:s.shard_id ~day | None -> ()
@@ -226,8 +291,9 @@ let run ?jobs ?progress ?injector ?retry ?funnel ?checkpoint
         ~attrs:[ ("shard", string_of_int s.shard_id) ]
         ~now:(fun () -> Simnet.Clock.now clock)
         (fun () ->
-          Daily_scan.scan_stream ?checkpoint:stream ?obs:shard_obs ~clock ~default_probe
-            ~dhe_probe ~domains:s.members ~days ~progress ())
+          Daily_scan.scan_stream ?checkpoint:stream ?sink:sink_stream ~retain:retain_rows
+            ?obs:shard_obs ~clock ~default_probe ~dhe_probe ~domains:s.members ~days ~progress
+            ())
     in
     (series, shard_funnel, shard_obs)
   in

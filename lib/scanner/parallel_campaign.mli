@@ -14,14 +14,27 @@
 type shard = {
   shard_id : int;
   members : Simnet.World.domain array;  (** in world (rank) order *)
+  weight : float;  (** summed {!estimated_cost} of the members *)
+  max_component : float;
+      (** weight of the heaviest single connectivity component packed
+          into this shard — the unsplittable lower bound on its size *)
 }
+
+val estimated_cost : Simnet.World.domain -> float
+(** The per-domain probe-cost estimate the packing balances: an HTTPS
+    domain-day (two full handshakes) is weighted ~60x a no-HTTPS one
+    (two refused connects). *)
 
 val shards : ?target:int -> Simnet.World.t -> shard array
 (** The deterministic shard decomposition: connectivity components of
-    {!Simnet.World.domain_shard_keys}, packed in world order into shards
-    of roughly [target] (default 256) domains. Components never split
-    across shards; every world domain appears in exactly one shard.
-    Raises [Invalid_argument] if [target <= 0]. *)
+    {!Simnet.World.domain_shard_keys}, packed longest-processing-time
+    first into [ceil (n / target)] (default [target = 256]) bins of
+    balanced estimated cost, then numbered heaviest-first — the order
+    the run queue drains them in. Components never split across shards;
+    every world domain appears in exactly one shard; no shard exceeds
+    twice the mean weight unless it holds a single component heavier
+    than the mean. Depends only on the world and [target], never on a
+    worker count. Raises [Invalid_argument] if [target <= 0]. *)
 
 val run :
   ?jobs:int ->
@@ -30,6 +43,8 @@ val run :
   ?retry:Faults.Retry.policy ->
   ?funnel:Faults.Funnel.t ->
   ?checkpoint:Durable.Checkpoint.t ->
+  ?sink:Stream_sink.t ->
+  ?retain_rows:bool ->
   ?supervise:Durable.Supervisor.policy ->
   ?chaos:(shard:int -> attempt:int -> day:int -> unit) ->
   ?obs:Obs.Recorder.t ->
@@ -39,9 +54,20 @@ val run :
   Daily_scan.t
 (** Runs the campaign over all shards with [jobs] workers (default
     [Domain.recommended_domain_count ()], clamped to the shard count;
-    [jobs <= 1] runs sequentially on the calling domain). Leaves the
-    world clock at the campaign's end, like the serial runner. [progress]
-    is called from worker domains — keep it reentrant.
+    [jobs <= 1] runs sequentially on the calling domain). Workers drain
+    an atomic shard queue in heaviest-first order — work-stealing LPT
+    scheduling, so adding workers never strands a straggler shard behind
+    an idle pool. Leaves the world clock at the campaign's end, like the
+    serial runner. [progress] is called from worker domains — keep it
+    reentrant.
+
+    [sink] gives every shard a row stream (["shard-0007"], truncated on
+    each attempt) into which completed days are appended as they finish;
+    with [retain_rows:false] no shard holds its observation matrix in
+    memory and the returned series carry empty [days] arrays — recover
+    the campaign with {!Daily_scan.load_stream}. Abandoned shards still
+    seal their streams with degraded (probe-less) rows, so a streamed
+    archive loads whenever the campaign itself completed.
 
     [injector] is shared across shards (its decisions are pure hashes,
     so sharing is race-free and worker-count invariant); each shard's

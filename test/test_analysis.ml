@@ -57,14 +57,14 @@ let test_duration_format () =
 (* --- Union-find ----------------------------------------------------------------- *)
 
 let test_union_find () =
-  let uf = Analysis.Union_find.create () in
-  Analysis.Union_find.union uf "a" "b";
-  Analysis.Union_find.union uf "b" "c";
-  Analysis.Union_find.union uf "x" "y";
-  Analysis.Union_find.add uf "lonely";
-  Alcotest.(check bool) "transitive" true (Analysis.Union_find.connected uf "a" "c");
-  Alcotest.(check bool) "separate" false (Analysis.Union_find.connected uf "a" "x");
-  let groups = Analysis.Union_find.groups uf in
+  let uf = Scanner.Union_find.create () in
+  Scanner.Union_find.union uf "a" "b";
+  Scanner.Union_find.union uf "b" "c";
+  Scanner.Union_find.union uf "x" "y";
+  Scanner.Union_find.add uf "lonely";
+  Alcotest.(check bool) "transitive" true (Scanner.Union_find.connected uf "a" "c");
+  Alcotest.(check bool) "separate" false (Scanner.Union_find.connected uf "a" "x");
+  let groups = Scanner.Union_find.groups uf in
   Alcotest.(check int) "three groups" 3 (List.length groups);
   Alcotest.(check int) "largest first" 3 (List.length (List.hd groups))
 
@@ -72,12 +72,12 @@ let prop_union_find_partition =
   QCheck2.Test.make ~name:"union-find groups partition the elements" ~count:100
     QCheck2.Gen.(list_size (int_range 0 40) (pair (int_range 0 15) (int_range 0 15)))
     (fun pairs ->
-      let uf = Analysis.Union_find.create () in
+      let uf = Scanner.Union_find.create () in
       List.iter
         (fun (a, b) ->
-          Analysis.Union_find.union uf (string_of_int a) (string_of_int b))
+          Scanner.Union_find.union uf (string_of_int a) (string_of_int b))
         pairs;
-      let groups = Analysis.Union_find.groups uf in
+      let groups = Scanner.Union_find.groups uf in
       let all = List.concat groups in
       List.length all = List.length (List.sort_uniq compare all))
 

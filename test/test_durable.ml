@@ -528,6 +528,97 @@ let test_parallel_kill_resume_identity () =
       Alcotest.(check bool) "full restore with jobs=1 is byte-identical" true
         (String.equal (archive_bytes restored) reference))
 
+(* --- Spool framing ------------------------------------------------------------------ *)
+
+let test_spool_roundtrip () =
+  with_temp_file (fun path ->
+      let w = Durable.Spool.create path in
+      Durable.Spool.add_block w "alpha";
+      Durable.Spool.add_block w "two\nlines\n";
+      Durable.Spool.add_block w "";
+      Durable.Spool.close w;
+      match Durable.Spool.read path with
+      | Ok (blocks, complete) ->
+          Alcotest.(check bool) "footer seen" true complete;
+          Alcotest.(check (list string)) "blocks survive" [ "alpha"; "two\nlines\n"; "" ] blocks
+      | Error e -> Alcotest.fail e)
+
+let test_spool_torn_tail_is_valid_prefix () =
+  (* A crash mid-append must cost at most the torn block: the reader
+     returns the complete prefix and flags the spool as unfinished. *)
+  with_temp_file (fun path ->
+      let w = Durable.Spool.create path in
+      Durable.Spool.add_block w "first";
+      Durable.Spool.add_block w "second";
+      Durable.Spool.close w;
+      let bytes = slurp path in
+      (* Cut inside the last block's payload, dropping the footer too. *)
+      spew path (String.sub bytes 0 (String.length bytes - 30));
+      match Durable.Spool.read path with
+      | Ok (blocks, complete) ->
+          Alcotest.(check bool) "flagged incomplete" false complete;
+          Alcotest.(check (list string)) "valid prefix survives" [ "first" ] blocks
+      | Error e -> Alcotest.fail e)
+
+let test_spool_bad_header_rejected () =
+  with_temp_file (fun path ->
+      spew path "not a spool\n#block 0 bytes=1\nx\n";
+      match Durable.Spool.read path with
+      | Ok _ -> Alcotest.fail "a foreign file must not parse as a spool"
+      | Error e -> Alcotest.(check bool) "error names the file" true (contains e path))
+
+(* --- Streamed kill-and-resume ------------------------------------------------------- *)
+
+let test_streamed_kill_resume_identity () =
+  (* The streaming sink obeys the same headline invariant as the CSV
+     path: kill mid-campaign, resume (at a different worker count), and
+     the reassembled streamed archive is byte-identical to an
+     uninterrupted in-memory run. *)
+  let reference = Lazy.force parallel_reference in
+  with_temp_dir (fun dir ->
+      let store = init_store (Filename.concat dir "ckpt") in
+      let sink_dir = Filename.concat dir "stream" in
+      let make_sink w =
+        let start_day = Simnet.Clock.now (Simnet.World.clock w) / Simnet.Clock.day in
+        match
+          Scanner.Stream_sink.create ~dir:sink_dir
+            ~manifest:
+              [
+                ("start_day", string_of_int start_day);
+                ("n_days", string_of_int parallel_days);
+              ]
+        with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let w = Simnet.World.create ~config:parallel_config () in
+      (match
+         Scanner.Parallel_campaign.run ~jobs:1 ~checkpoint:store ~sink:(make_sink w)
+           ~retain_rows:false
+           ~chaos:(fun ~shard ~attempt:_ ~day ->
+             if shard = 1 && day = 1 then raise Durable.Supervisor.Killed)
+           w ~days:parallel_days ()
+       with
+      | _ -> Alcotest.fail "the kill must fire"
+      | exception Durable.Supervisor.Killed -> ());
+      (* The killed run leaves footer-less spools behind; the loader must
+         refuse them rather than serve a partial archive. *)
+      (match Scanner.Daily_scan.load_stream sink_dir with
+      | Ok _ -> Alcotest.fail "interrupted streamed archive must not load"
+      | Error _ -> ());
+      (* Resume at a different worker count, streaming into the same
+         directory: spools are truncated on open and every completed day
+         replayed, converging on the uninterrupted bytes. *)
+      let w = Simnet.World.create ~config:parallel_config () in
+      ignore
+        (Scanner.Parallel_campaign.run ~jobs:4 ~checkpoint:store ~sink:(make_sink w)
+           ~retain_rows:false w ~days:parallel_days ());
+      match Scanner.Daily_scan.load_stream sink_dir with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+          Alcotest.(check bool) "streamed resume is byte-identical" true
+            (String.equal (archive_bytes loaded) reference))
+
 (* --- Worker supervision ------------------------------------------------------------ *)
 
 let test_supervised_retry_recovers () =
@@ -645,10 +736,19 @@ let () =
             test_serial_corrupt_newest_falls_back;
           Alcotest.test_case "wrong world mismatches" `Slow test_resume_wrong_world_mismatches;
         ] );
+      ( "spool",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spool_roundtrip;
+          Alcotest.test_case "torn tail is valid prefix" `Quick
+            test_spool_torn_tail_is_valid_prefix;
+          Alcotest.test_case "bad header rejected" `Quick test_spool_bad_header_rejected;
+        ] );
       ( "parallel-resume",
         [
           Alcotest.test_case "kill/resume across worker counts" `Slow
             test_parallel_kill_resume_identity;
+          Alcotest.test_case "streamed kill/resume byte identity" `Slow
+            test_streamed_kill_resume_identity;
         ] );
       ( "supervision",
         [

@@ -339,6 +339,33 @@ let test_load_rejects_out_of_range_day () =
 let parallel_world_config =
   { world_config with Simnet.World.seed = "parallel-test"; n_domains = 1500 }
 
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tlsharm" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let archive_bytes campaign =
+  let path = Filename.temp_file "tlsharm" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scanner.Daily_scan.save campaign path;
+      slurp path)
+
 let test_shards_partition () =
   let w = Simnet.World.create ~config:parallel_world_config () in
   let shards = Scanner.Parallel_campaign.shards w in
@@ -389,7 +416,128 @@ let test_parallel_deterministic_in_jobs () =
     (Array.length one.Scanner.Daily_scan.series);
   Alcotest.(check bool) "1-worker and 4-worker series identical" true
     (one.Scanner.Daily_scan.series = four.Scanner.Daily_scan.series
-    && one.Scanner.Daily_scan.start_day = four.Scanner.Daily_scan.start_day)
+    && one.Scanner.Daily_scan.start_day = four.Scanner.Daily_scan.start_day);
+  (* Down to the archived bytes, not just structural equality. *)
+  Alcotest.(check bool) "1-worker and 4-worker archives byte-identical" true
+    (String.equal (archive_bytes one) (archive_bytes four))
+
+let prop_shard_balance =
+  (* The LPT packing bound: a shard can exceed twice the mean weight only
+     by holding a single unsplittable component that is itself heavier
+     than the mean — shared-state components cannot be split across
+     shards, so that case is irreducible. *)
+  QCheck2.Test.make ~name:"no shard exceeds 2x mean weight (unsplittable giants exempt)"
+    ~count:6
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1500 2200))
+    (fun (seed, n_domains) ->
+      let config =
+        {
+          Simnet.World.default_config with
+          Simnet.World.seed = Printf.sprintf "balance-%d" seed;
+          n_domains;
+        }
+      in
+      let w = Simnet.World.create ~config () in
+      let shards = Scanner.Parallel_campaign.shards w in
+      let total =
+        Array.fold_left (fun acc s -> acc +. s.Scanner.Parallel_campaign.weight) 0.0 shards
+      in
+      let mean = total /. float (max 1 (Array.length shards)) in
+      Array.for_all
+        (fun (s : Scanner.Parallel_campaign.shard) ->
+          s.Scanner.Parallel_campaign.weight <= (2.0 *. mean) +. 1e-6
+          || s.Scanner.Parallel_campaign.max_component > mean)
+        shards)
+
+(* --- Streaming sink ------------------------------------------------------------------------- *)
+
+let make_sink w dir ~days =
+  let start_day = Simnet.Clock.now (Simnet.World.clock w) / Simnet.Clock.day in
+  match
+    Scanner.Stream_sink.create ~dir
+      ~manifest:[ ("start_day", string_of_int start_day); ("n_days", string_of_int days) ]
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let test_stream_matches_archive () =
+  (* A streamed serial campaign reassembles to the byte-identical CSV the
+     in-memory path would have saved. *)
+  with_temp_dir (fun dir ->
+      let days = 2 in
+      let w = Simnet.World.create ~config:parallel_world_config () in
+      let sink = make_sink w dir ~days in
+      let t = Scanner.Daily_scan.run ~sink w ~days () in
+      let direct = archive_bytes t in
+      Alcotest.(check bool) "rows streamed" true (Scanner.Stream_sink.rows_written sink > 0);
+      match Scanner.Daily_scan.load_stream dir with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+          Alcotest.(check bool) "streamed archive is byte-identical" true
+            (String.equal (archive_bytes loaded) direct))
+
+let test_stream_jobs_invariant () =
+  (* Worker count must not leak into the streamed bytes: every per-shard
+     spool is byte-identical between jobs=1 and jobs=4, and with
+     retain_rows:false nothing row-shaped stays in memory. *)
+  let days = 2 in
+  let run_streamed jobs dir =
+    let w = Simnet.World.create ~config:parallel_world_config () in
+    let sink = make_sink w dir ~days in
+    let t = Scanner.Parallel_campaign.run ~jobs ~sink ~retain_rows:false w ~days () in
+    Alcotest.(check int) "retain_rows:false keeps no day rows" 0
+      (Array.fold_left
+         (fun acc (s : Scanner.Daily_scan.domain_series) ->
+           acc + Array.length s.Scanner.Daily_scan.days)
+         0 t.Scanner.Daily_scan.series)
+  in
+  with_temp_dir (fun dir1 ->
+      with_temp_dir (fun dir4 ->
+          run_streamed 1 dir1;
+          run_streamed 4 dir4;
+          let names d =
+            match Scanner.Stream_sink.stream_names ~dir:d with
+            | Ok n -> n
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check (list string)) "same stream names" (names dir1) (names dir4);
+          Alcotest.(check bool) "one spool per shard" true (List.length (names dir1) > 1);
+          List.iter
+            (fun n ->
+              Alcotest.(check bool)
+                ("spool bytes identical across jobs: " ^ n)
+                true
+                (String.equal
+                   (slurp (Filename.concat dir1 ("rows-" ^ n)))
+                   (slurp (Filename.concat dir4 ("rows-" ^ n)))))
+            (names dir1);
+          (* And the reassembled archive equals a non-streamed parallel run. *)
+          let w = Simnet.World.create ~config:parallel_world_config () in
+          let reference = archive_bytes (Scanner.Parallel_campaign.run ~jobs:1 w ~days ()) in
+          match Scanner.Daily_scan.load_stream dir4 with
+          | Error e -> Alcotest.fail e
+          | Ok loaded ->
+              Alcotest.(check bool) "streamed parallel archive byte-identical" true
+                (String.equal (archive_bytes loaded) reference)))
+
+let test_stream_incomplete_rejected () =
+  (* A footer-less spool is an interrupted run: the loader must refuse it
+     and point at the checkpoint resume, never load a partial archive. *)
+  with_temp_dir (fun dir ->
+      let w = Simnet.World.create ~config:parallel_world_config () in
+      let sink = make_sink w dir ~days:3 in
+      let s = Scanner.Stream_sink.stream sink "serial" in
+      Scanner.Stream_sink.append_day s ~rows:0 "day=0\nrows=0\n";
+      (* no [finish]: simulates a crash between days *)
+      match Scanner.Daily_scan.load_stream dir with
+      | Ok _ -> Alcotest.fail "an interrupted stream must not load"
+      | Error e ->
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "error directs to resume" true (contains e "resume"))
 
 (* --- Cross-domain probe --------------------------------------------------------------------- *)
 
@@ -458,6 +606,14 @@ let () =
           Alcotest.test_case "shards partition the world" `Slow test_shards_partition;
           Alcotest.test_case "deterministic in worker count" `Slow
             test_parallel_deterministic_in_jobs;
+        ] );
+      qsuite "shard-properties" [ prop_shard_balance ];
+      ( "streaming",
+        [
+          Alcotest.test_case "streamed serial matches archive" `Slow test_stream_matches_archive;
+          Alcotest.test_case "spool bytes invariant in worker count" `Slow
+            test_stream_jobs_invariant;
+          Alcotest.test_case "incomplete stream rejected" `Quick test_stream_incomplete_rejected;
         ] );
       ("cross-probe", [ Alcotest.test_case "cloudflare" `Slow test_cross_probe ]);
     ]
