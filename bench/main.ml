@@ -10,25 +10,31 @@
      bench/main.exe micro           microbenchmarks only (writes BENCH_crypto.json)
      bench/main.exe ablations       section 8.2 what-ifs only
      bench/main.exe parallel        serial vs parallel campaign wall-clock
+     bench/main.exe traffic         client-population runner throughput + speedup
      bench/main.exe phases          per-phase campaign telemetry breakdown
      bench/main.exe faults          fault-injected campaign + loss funnel
      bench/main.exe check-baseline  compare BENCH_crypto.json to BENCH_baseline.json
 
-   The `micro`, `parallel` and `phases` entries additionally emit
-   machine-readable results to BENCH_crypto.json ("kernels", "campaign"
-   and "phases" sections respectively; see README.md for the format), and
-   `check-baseline` exits nonzero if any kernel regressed more than 2x
-   against the committed baseline — the CI bench smoke step.
+   The `micro`, `parallel`, `traffic` and `phases` entries additionally
+   emit machine-readable results to BENCH_crypto.json ("kernels",
+   "campaign", "traffic" and "phases" sections respectively; see
+   README.md for the format), and `check-baseline` exits nonzero if any
+   kernel regressed more than 2x against the committed baseline — the
+   CI bench smoke step.
 
    Environment:
      TLSHARM_DOMAINS   sampled world size (default 4000)
      TLSHARM_DAYS      campaign length in days (default 63)
      TLSHARM_SEED      world seed (default "tlsharm")
      TLSHARM_JOBS      campaign worker domains (default 1 for the study tables;
-                       the `parallel` entry gates its scheduled speedup at this
-                       worker count, defaulting to max 2 (recommended cores))
+                       the `parallel` and `traffic` entries gate their scheduled
+                       speedup at this worker count, defaulting to
+                       max 2 (recommended cores))
      TLSHARM_BENCH_MS  per-kernel timing budget in ms (default 200; CI uses
-                       a reduced budget) *)
+                       a reduced budget)
+     TLSHARM_TRAFFIC_USERS / _SHARD / _DAYS
+                       traffic bench population shape (default 1024 users,
+                       128-user shards, 3 days) *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -287,6 +293,56 @@ let check_baseline () =
            jobs-invariant.\n"
           speedup jobs n_shards floor
   in
+  (* The traffic-runner gate, same shape: jobs-invariance is mandatory,
+     scheduled speedup floors at 0.8 x the effective worker count, and
+     throughput must stay within 2x of the committed baseline. *)
+  let traffic_gate =
+    match Json_io.member "traffic" current_json with
+    | None ->
+        Printf.sprintf
+          "No \"traffic\" section in %s; run `bench traffic` to gate the population runner.\n"
+          current_path
+    | Some c ->
+        let num key =
+          match Option.bind (Json_io.member key c) Json_io.to_float with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "%s: traffic section lacks %S" current_path key)
+        in
+        let jobs = int_of_float (num "jobs") in
+        let n_shards = int_of_float (num "n_shards") in
+        let speedup = num "parallel_speedup" in
+        let udps = num "user_days_per_sec" in
+        let deterministic =
+          match Json_io.member "deterministic" c with
+          | Some (Json_io.Bool b) -> b
+          | _ -> fail (current_path ^ ": traffic section lacks \"deterministic\"")
+        in
+        if not deterministic then
+          fail "traffic: 1-worker and N-worker rows differ (jobs-invariance broken)";
+        let effective = min jobs (max 1 n_shards) in
+        let floor = 0.8 *. float_of_int effective in
+        if speedup < floor then
+          fail
+            (Printf.sprintf
+               "traffic: scheduled speedup %.2fx at %d jobs (%d shards) is below the %.2fx \
+                floor (0.8 x %d) — user sharding or scheduling regressed"
+               speedup jobs n_shards floor effective);
+        (match
+           Option.bind
+             (Option.bind (Json_io.member "traffic" (load baseline_path)) (Json_io.member "user_days_per_sec"))
+             Json_io.to_float
+         with
+        | Some base when udps < 0.5 *. base ->
+            fail
+              (Printf.sprintf
+                 "traffic: throughput regressed %.2fx (%.0f -> %.0f user-days/s)" (base /. udps)
+                 base udps)
+        | _ -> ());
+        Printf.sprintf
+          "Traffic: %.0f user-days/s, scheduled speedup %.2fx at %d jobs over %d shards \
+           (floor %.2fx), jobs-invariant.\n"
+          udps speedup jobs n_shards floor
+  in
   let rows =
     List.map
       (fun (name, base_ops) ->
@@ -304,7 +360,7 @@ let check_baseline () =
   Analysis.Report.section "Baseline check (current vs committed BENCH_baseline.json)"
   ^ "\n"
   ^ Analysis.Report.table ~headers:[ "Kernel"; "Baseline ops/s"; "Current ops/s"; "Ratio" ] ~rows
-  ^ "\n\nAll kernels within 2x of baseline.\n" ^ campaign_gate
+  ^ "\n\nAll kernels within 2x of baseline.\n" ^ campaign_gate ^ traffic_gate
 
 (* --- Microbenchmarks ----------------------------------------------------------- *)
 
@@ -635,6 +691,114 @@ let parallel_campaign_bench () =
       (if wall_mean > 0.0 then wall_max /. wall_mean else 1.0)
       jobs scheduled_speedup (100.0 *. utilization)
 
+(* --- Traffic population runner ------------------------------------------------------- *)
+
+(* The client-side runner under the same two lenses as the campaign
+   bench: throughput (user-days simulated per second, the number that
+   says whether 10^6 users x 63 days is tractable) and scheduled
+   speedup over the measured per-shard walls (what the user sharder
+   controls). Determinism is checked the same way: a 1-worker and an
+   N-worker run must produce identical rows. *)
+let traffic_bench () =
+  let users = env_int "TLSHARM_TRAFFIC_USERS" 1024 in
+  let shard_users = env_int "TLSHARM_TRAFFIC_SHARD" 128 in
+  let days = env_int "TLSHARM_TRAFFIC_DAYS" 3 in
+  let cfg =
+    {
+      Traffic.Population.default_config with
+      Traffic.Population.users;
+      days;
+      shard_users;
+      pages_per_day = 1.0;
+      world =
+        {
+          Simnet.World.default_config with
+          Simnet.World.n_domains = 1500;
+          seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+        };
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs =
+    let j = env_int "TLSHARM_JOBS" 0 in
+    if j >= 2 then j else max 2 (Domain.recommended_domain_count ())
+  in
+  let n_shards = Array.length (Traffic.Population.shards cfg) in
+  let obs = Obs.Recorder.create ~wall:true () in
+  let one, t_one = time (fun () -> Traffic.Population.run ~jobs:1 ~obs cfg) in
+  let par, t_par = time (fun () -> Traffic.Population.run ~jobs cfg) in
+  let deterministic = one.Traffic.Population.rows = par.Traffic.Population.rows in
+  let walls =
+    Obs.Trace.stats (Obs.Recorder.trace obs)
+    |> List.filter_map (fun (st : Obs.Trace.span_stat) ->
+           if String.equal st.Obs.Trace.span_name "traffic.shard" then
+             Option.bind (List.assoc_opt "shard" st.Obs.Trace.span_attrs) (fun id ->
+                 Option.map
+                   (fun id -> (id, st.Obs.Trace.span_wall_ns /. 1e9))
+                   (int_of_string_opt id))
+           else None)
+    |> List.sort compare |> List.map snd |> Array.of_list
+  in
+  let shard_work = Array.fold_left ( +. ) 0.0 walls in
+  let makespan jobs =
+    let jobs = max 1 (min jobs (Array.length walls)) in
+    let finish = Array.make jobs 0.0 in
+    Array.iter
+      (fun w ->
+        let best = ref 0 in
+        for i = 1 to jobs - 1 do
+          if finish.(i) < finish.(!best) then best := i
+        done;
+        finish.(!best) <- finish.(!best) +. w)
+      walls;
+    Array.fold_left max 0.0 finish
+  in
+  let scheduled_speedup =
+    if Array.length walls = 0 then 1.0 else shard_work /. makespan jobs
+  in
+  let user_days_per_sec = float_of_int (users * days) /. t_one in
+  update_bench_json "traffic"
+    (Json_io.Obj
+       [
+         ("users", Json_io.Num (float_of_int users));
+         ("days", Json_io.Num (float_of_int days));
+         ("shard_users", Json_io.Num (float_of_int shard_users));
+         ("n_shards", Json_io.Num (float_of_int n_shards));
+         ("jobs", Json_io.Num (float_of_int jobs));
+         ("connections", Json_io.Num (float_of_int one.Traffic.Population.total_rows));
+         ("one_worker_s", Json_io.Num t_one);
+         ("parallel_s", Json_io.Num t_par);
+         ("user_days_per_sec", Json_io.Num user_days_per_sec);
+         ("parallel_speedup", Json_io.Num scheduled_speedup);
+         ("wall_speedup", Json_io.Num (t_one /. t_par));
+         ("deterministic", Json_io.Bool deterministic);
+       ]);
+  Analysis.Report.section "Traffic population runner (wall-clock)"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Runner"; "Wall-clock"; "Notes" ]
+      ~rows:
+        [
+          [ "Population.run ~jobs:1"; Printf.sprintf "%.2f s" t_one; "" ];
+          [
+            Printf.sprintf "Population.run ~jobs:%d" jobs;
+            Printf.sprintf "%.2f s" t_par;
+            Printf.sprintf "%.2fx wall vs 1 worker" (t_one /. t_par);
+          ];
+        ]
+  ^ Printf.sprintf
+      "\n\n%d users x %d days over %d shards (%d connections); %d-worker rows %s 1-worker \
+       rows.\n\
+       Throughput: %.0f user-days/s single-worker. Scheduled speedup at %d jobs: %.2fx over \
+       measured shard walls.\n"
+      users days n_shards one.Traffic.Population.total_rows jobs
+      (if deterministic then "identical to" else "DIFFER FROM (BUG)")
+      user_days_per_sec jobs scheduled_speedup
+
 (* --- Per-phase telemetry breakdown --------------------------------------------------- *)
 
 (* The observability layer over a mini-campaign with host-clock span
@@ -799,6 +963,7 @@ let named : (string * (unit -> string)) list =
       ("tls13", tls13);
       ("micro", microbenches);
       ("parallel", parallel_campaign_bench);
+      ("traffic", traffic_bench);
       ("phases", phases_bench);
       ("faults", faults_bench);
       ("check-baseline", check_baseline);

@@ -576,10 +576,24 @@ let resume_cmd =
 
 let analyze path =
   guard @@ fun () ->
-  let load =
-    if Sys.file_exists path && Sys.is_directory path then Scanner.Daily_scan.load_stream
-    else Scanner.Daily_scan.load
+  let is_dir = Sys.file_exists path && Sys.is_directory path in
+  (* A --stream-out directory can hold either archive kind; the manifest
+     [mode] key says which, so one command reads both. *)
+  let traffic_archive =
+    is_dir
+    &&
+    match Scanner.Stream_sink.manifest ~dir:path with
+    | Ok kvs -> List.assoc_opt "mode" kvs = Some "traffic"
+    | Error _ -> false
   in
+  if traffic_archive then
+    match Analysis.Tracking_report.of_sink ~dir:path with
+    | Error e -> `Error (false, e)
+    | Ok t ->
+        print_string (Analysis.Tracking_report.render t);
+        `Ok ()
+  else
+  let load = if is_dir then Scanner.Daily_scan.load_stream else Scanner.Daily_scan.load in
   match load path with
   | Error e -> `Error (false, e)
   | Ok campaign ->
@@ -613,13 +627,15 @@ let analyze_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"PATH" ~doc:"Campaign CSV, or a --stream-out sink directory.")
+      & info [] ~docv:"PATH"
+          ~doc:"Campaign CSV, or a --stream-out sink directory (campaign or traffic mode).")
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Re-analyze an archived campaign (secret-lifetime spans) from a CSV file or a \
-          --stream-out directory.")
+         "Re-analyze an archived run from a CSV file or a --stream-out directory: \
+          secret-lifetime spans for campaigns, the tracking-exposure table for traffic \
+          archives.")
     Term.(ret (const analyze $ path))
 
 (* --- metrics-report -------------------------------------------------------------------- *)
@@ -844,6 +860,185 @@ let attack_cmd =
        ~doc:"Demonstrate the stolen-STEK / stolen-DH-value / stolen-cache decryptions end to end.")
     Term.(ret (const attack_demo $ const ()))
 
+(* --- traffic ------------------------------------------------------------------------------ *)
+
+(* Pins everything the archive means: population shape, policy, world.
+   [Traffic_sink.create] refuses to re-attach when any of these differ,
+   and [Analysis.Tracking_report.of_sink] reads the run metadata back
+   from here. *)
+let traffic_manifest ~(cfg : Traffic.Population.config) ~seed =
+  [
+    ("mode", "traffic");
+    ("seed", seed);
+    ("n_domains", string_of_int cfg.Traffic.Population.world.Simnet.World.n_domains);
+    ("users", string_of_int cfg.Traffic.Population.users);
+    ("days", string_of_int cfg.Traffic.Population.days);
+    ("shard_users", string_of_int cfg.Traffic.Population.shard_users);
+    ("policy", Traffic.Population.policy_to_string cfg.Traffic.Population.policy);
+    ("ticket_lifetime", string_of_int cfg.Traffic.Population.ticket_lifetime_cap);
+    ("pages_per_day", Printf.sprintf "%g" cfg.Traffic.Population.pages_per_day);
+  ]
+
+let traffic users days domains seed jobs shard_users policy ticket_lifetime pages_per_day
+    stream_out metrics_out trace_out =
+  match validate_sizes ~domains ~days ~jobs with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
+      if users < 1 then `Error (false, Printf.sprintf "--users must be at least 1 (got %d)" users)
+      else if shard_users < 1 then
+        `Error (false, Printf.sprintf "--shard-users must be at least 1 (got %d)" shard_users)
+      else if ticket_lifetime < 0 then
+        `Error
+          (false, Printf.sprintf "--ticket-lifetime must be non-negative (got %d)" ticket_lifetime)
+      else if not (pages_per_day > 0.0) then
+        `Error
+          (false, Printf.sprintf "--pages-per-day must be positive (got %g)" pages_per_day)
+      else
+        match Traffic.Population.policy_of_string policy with
+        | Error e -> `Error (false, e)
+        | Ok policy ->
+            guard @@ fun () ->
+            let cfg =
+              {
+                Traffic.Population.default_config with
+                Traffic.Population.users;
+                days;
+                shard_users;
+                policy;
+                ticket_lifetime_cap = ticket_lifetime;
+                pages_per_day;
+                world = world_config ~domains ~seed;
+              }
+            in
+            let obs =
+              if metrics_out <> None || trace_out <> None then Some (Obs.Recorder.create ())
+              else None
+            in
+            let sink =
+              match stream_out with
+              | None -> Ok None
+              | Some dir ->
+                  Result.map Option.some
+                    (Traffic.Traffic_sink.create ~dir ~manifest:(traffic_manifest ~cfg ~seed))
+            in
+            (match sink with
+            | Error e -> `Error (false, e)
+            | Ok sink ->
+                let retain_rows = sink = None in
+                let kernel_before = Obs.Kernel.snapshot () in
+                let r = Traffic.Population.run ~jobs ?sink ~retain_rows ?obs cfg in
+                Option.iter
+                  (fun rec_ ->
+                    Obs.Kernel.add_to_metrics (Obs.Recorder.metrics rec_)
+                      (Obs.Kernel.diff ~before:kernel_before ~after:(Obs.Kernel.snapshot ())))
+                  obs;
+                (match (obs, metrics_out) with
+                | Some rec_, Some path ->
+                    Durable.Atomic_io.write path (Obs.Recorder.metrics_json_string rec_);
+                    Printf.printf "wrote traffic metrics to %s\n" path
+                | _ -> ());
+                (match (obs, trace_out) with
+                | Some rec_, Some path ->
+                    Durable.Atomic_io.write path (Obs.Recorder.trace_json_string rec_);
+                    Printf.printf "wrote traffic trace spans to %s\n" path
+                | _ -> ());
+                let report =
+                  match sink with
+                  | Some s -> (
+                      match
+                        Analysis.Tracking_report.of_sink ~dir:(Traffic.Traffic_sink.dir s)
+                      with
+                      | Ok t -> t
+                      | Error e -> failwith e)
+                  | None ->
+                      let meta =
+                        {
+                          Analysis.Tracking_report.policy =
+                            Traffic.Population.policy_to_string cfg.Traffic.Population.policy;
+                          ticket_lifetime;
+                          users;
+                          days;
+                        }
+                      in
+                      Analysis.Tracking_report.of_rows ~meta ~hosts:r.Traffic.Population.hosts
+                        (List.concat (Array.to_list r.Traffic.Population.rows))
+                in
+                Printf.printf "simulated %d users over %d days (%d shards%s): %d connections%s\n\n"
+                  users days r.Traffic.Population.n_shards
+                  (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "")
+                  r.Traffic.Population.total_rows
+                  (match sink with
+                  | Some s -> " streamed to " ^ Traffic.Traffic_sink.dir s
+                  | None -> "");
+                print_string (Analysis.Tracking_report.render report);
+                `Ok ()))
+
+let traffic_cmd =
+  let users =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "users" ] ~docv:"N" ~doc:"Simulated browser-like client population size.")
+  in
+  let shard_users =
+    Arg.(
+      value
+      & opt int 16_384
+      & info [ "shard-users" ] ~docv:"N"
+          ~doc:
+            "Users per shard. Sharding depends only on this and --users — never on --jobs — so \
+             the archive is byte-identical for any worker count. Each shard simulates its own \
+             deterministic world replica.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "strict"
+      & info [ "resumption-policy" ] ~docv:"POLICY"
+          ~doc:
+            "Client resumption scope: $(b,strict) keys cached sessions and tickets by exact \
+             hostname; $(b,cross) shares them across all hostnames of one operator — more \
+             abbreviated handshakes, one linkable identity per operator.")
+  in
+  let ticket_lifetime =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "ticket-lifetime" ] ~docv:"SECS"
+          ~doc:
+            "Client-side cap on ticket reuse age, seconds; 0 (default) honors the server's \
+             advertised lifetime hint alone. Clients never offer state past its lifetime.")
+  in
+  let pages_per_day =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "pages-per-day" ] ~docv:"MEAN"
+          ~doc:"Mean page loads per user-day (each page fetches subresource hosts too).")
+  in
+  let stream_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stream-out" ] ~docv:"DIR"
+          ~doc:
+            "Stream each completed day's rows into $(i,DIR) (one append-only spool per user \
+             shard) instead of retaining them in memory — RSS stays flat into the millions of \
+             users. Byte-identical at any --jobs; re-running after a crash skips complete \
+             shards and reproduces the identical archive. Reassemble with $(b,tlsharm analyze) \
+             $(i,DIR).")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Simulate a browser-like client population over the campaign window and report the \
+          latency-saved vs tracking-exposure tradeoff of session resumption (the client-side \
+          view of the study).")
+    Term.(
+      ret
+        (const traffic $ users $ days_arg $ domains_arg $ seed_arg $ jobs_arg $ shard_users
+       $ policy $ ticket_lifetime $ pages_per_day $ stream_out $ metrics_out_arg $ trace_out_arg))
+
 (* --- main --------------------------------------------------------------------------------- *)
 
 let () =
@@ -858,6 +1053,7 @@ let () =
             reproduce_cmd;
             experiment_cmd;
             campaign_cmd;
+            traffic_cmd;
             resume_cmd;
             analyze_cmd;
             metrics_report_cmd;

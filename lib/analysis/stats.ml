@@ -67,6 +67,40 @@ let percentile points q =
     go 0.0 sorted
   end
 
+(* Multi-quantile in one sort + one walk. The walk reproduces
+   [percentile]'s accumulation exactly: targets are served in ascending
+   order against the same left-to-right prefix sums, and the first
+   point whose cumulative weight reaches a target is non-decreasing in
+   the target, so pausing the walk at each served target loses
+   nothing. The terminal [p] fallback mirrors [percentile]'s. *)
+let quantiles points qs =
+  List.iter
+    (fun q -> if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantiles: q out of range")
+    qs;
+  let sorted = List.sort (fun a b -> compare a.value b.value) points in
+  let total = total_weight sorted in
+  let n = List.length qs in
+  if total <= 0.0 then List.map (fun _ -> nan) qs
+  else begin
+    let order = List.sort compare (List.mapi (fun i q -> (q *. total, i)) qs) in
+    let out = Array.make n nan in
+    let rec walk acc pts targets =
+      match (targets, pts) with
+      | [], _ | _, [] -> ()
+      | (_, i) :: trest, [ p ] ->
+          out.(i) <- p.value;
+          walk acc pts trest
+      | (target, i) :: trest, p :: rest ->
+          if acc +. p.weight >= target then begin
+            out.(i) <- p.value;
+            walk acc pts trest
+          end
+          else walk (acc +. p.weight) rest targets
+    in
+    walk 0.0 sorted order;
+    List.init n (Array.get out)
+  end
+
 let median points = percentile points 0.5
 
 let mean points =

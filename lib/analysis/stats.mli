@@ -21,6 +21,14 @@ val cdf_at : cdf -> float -> float
 val percentile : weighted list -> float -> float
 (** [percentile points q] with [q] in [0,1]; [nan] on empty input. *)
 
+val quantiles : weighted list -> float list -> float list
+(** [quantiles points qs] computes every requested quantile from a
+    single sort and one cumulative walk — agreeing exactly (to the
+    float) with calling {!percentile} once per [q], which re-sorts per
+    call. The latency tables ask for several quantiles of the same
+    population; this is their single-pass path. [nan]s on empty input;
+    raises [Invalid_argument] if any [q] is outside [0,1]. *)
+
 val median : weighted list -> float
 val mean : weighted list -> float
 

@@ -1,0 +1,15 @@
+(** The handshake latency model behind the "latency saved by resumption"
+    numbers: a deterministic per-hostname RTT (a pure hash — no world or
+    clock access, so the analysis can recompute it from archived rows
+    alone). A full TLS 1.2 handshake costs two round trips before
+    application data, an abbreviated one costs one; resumption therefore
+    saves exactly one RTT per connection. *)
+
+val rtt_ms : string -> int
+(** Deterministic round-trip time for a hostname, in [16, 240] ms. *)
+
+val full_ms : string -> int
+val abbreviated_ms : string -> int
+
+val saved_ms : string -> int
+(** [full_ms - abbreviated_ms]: one RTT. *)

@@ -1,0 +1,159 @@
+(* Row codec for the streamed traffic archive. Plain comma-separated
+   lines: hostnames in this world contain no commas (see Namegen), and
+   keeping the grammar trivial keeps the jobs-invariance argument about
+   byte-identical spools easy to audit. *)
+
+type offered = O_fresh | O_session_id | O_ticket
+type resumed = R_no | R_session_id | R_ticket
+
+type t = {
+  time : int;
+  user : int;
+  page : int;
+  hostname : string;
+  page_host : string;
+  primary : bool;
+  ok : bool;
+  offered : offered;
+  resumed : resumed;
+  new_ticket : bool;
+  chain : int;
+}
+
+let offered_char = function O_fresh -> 'f' | O_session_id -> 's' | O_ticket -> 't'
+
+let offered_of_char = function
+  | 'f' -> Ok O_fresh
+  | 's' -> Ok O_session_id
+  | 't' -> Ok O_ticket
+  | c -> Error (Printf.sprintf "bad offered %c" c)
+
+let resumed_char = function R_no -> 'n' | R_session_id -> 's' | R_ticket -> 't'
+
+let resumed_of_char = function
+  | 'n' -> Ok R_no
+  | 's' -> Ok R_session_id
+  | 't' -> Ok R_ticket
+  | c -> Error (Printf.sprintf "bad resumed %c" c)
+
+let to_line r =
+  Printf.sprintf "%d,%d,%d,%s,%s,%b,%b,%c,%c,%b,%d" r.time r.user r.page r.hostname
+    r.page_host r.primary r.ok (offered_char r.offered) (resumed_char r.resumed)
+    r.new_ticket r.chain
+
+let ( let* ) = Result.bind
+
+let bool_of_string_res s =
+  match bool_of_string_opt s with Some b -> Ok b | None -> Error ("bad bool " ^ s)
+
+let int_of_string_res s =
+  match int_of_string_opt s with Some i -> Ok i | None -> Error ("bad int " ^ s)
+
+let char_of_string_res s =
+  if String.length s = 1 then Ok s.[0] else Error ("bad flag " ^ s)
+
+let of_line line =
+  match String.split_on_char ',' line with
+  | [ time; user; page; hostname; page_host; primary; ok; offered; resumed; newt; chain ]
+    ->
+      let* time = int_of_string_res time in
+      let* user = int_of_string_res user in
+      let* page = int_of_string_res page in
+      let* primary = bool_of_string_res primary in
+      let* ok = bool_of_string_res ok in
+      let* offered = Result.bind (char_of_string_res offered) offered_of_char in
+      let* resumed = Result.bind (char_of_string_res resumed) resumed_of_char in
+      let* new_ticket = bool_of_string_res newt in
+      let* chain = int_of_string_res chain in
+      Ok { time; user; page; hostname; page_host; primary; ok; offered; resumed; new_ticket; chain }
+  | _ -> Error ("row: bad field count: " ^ line)
+
+(* --- Day blocks --------------------------------------------------------------- *)
+
+let day_payload ~day rows =
+  let b = Buffer.create (64 * (1 + List.length rows)) in
+  Printf.bprintf b "day=%d\nrows=%d\n" day (List.length rows);
+  List.iter
+    (fun r ->
+      Buffer.add_string b (to_line r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let lines_of payload = String.split_on_char '\n' (String.trim payload)
+
+let header_int ~key s =
+  let prefix = key ^ "=" in
+  if String.starts_with ~prefix s then
+    int_of_string_res (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else Error (Printf.sprintf "expected %s=, got %s" key s)
+
+let decode_day payload =
+  match lines_of payload with
+  | day_line :: rows_line :: rest ->
+      let* day = header_int ~key:"day" day_line in
+      let* n = header_int ~key:"rows" rows_line in
+      if List.length rest <> n then Error "day block: row count mismatch"
+      else
+        let* rows =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              let* r = of_line line in
+              Ok (r :: acc))
+            (Ok []) rest
+        in
+        Ok (day, List.rev rows)
+  | _ -> Error "day block: truncated header"
+
+(* --- Trailer ------------------------------------------------------------------ *)
+
+type host_info = { h_rank : int; h_weight : float; h_operator : string }
+
+let trailer ~users_lo ~users_hi hosts =
+  let b = Buffer.create (48 * (1 + List.length hosts)) in
+  Printf.bprintf b "trailer\nusers=%d..%d\ndomains=%d\n" users_lo users_hi
+    (List.length hosts);
+  List.iter
+    (fun (name, h) ->
+      (* %.17g: float weights must survive the round-trip exactly, as in
+         the scan-archive codec. *)
+      Printf.bprintf b "%s,%d,%.17g,%s\n" name h.h_rank h.h_weight h.h_operator)
+    hosts;
+  Buffer.contents b
+
+let decode_trailer payload =
+  match lines_of payload with
+  | "trailer" :: users_line :: domains_line :: rest ->
+      let* lo, hi =
+        match String.split_on_char '=' users_line with
+        | [ "users"; range ] -> (
+            match String.split_on_char '.' range with
+            | [ lo; ""; hi ] ->
+                let* lo = int_of_string_res lo in
+                let* hi = int_of_string_res hi in
+                Ok (lo, hi)
+            | _ -> Error ("trailer: bad user range " ^ range))
+        | _ -> Error ("trailer: bad users line " ^ users_line)
+      in
+      let* n = header_int ~key:"domains" domains_line in
+      if List.length rest <> n then Error "trailer: domain count mismatch"
+      else
+        let* hosts =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              match String.split_on_char ',' line with
+              | [ name; rank; weight; operator ] ->
+                  let* h_rank = int_of_string_res rank in
+                  let* h_weight =
+                    match float_of_string_opt weight with
+                    | Some f -> Ok f
+                    | None -> Error ("trailer: bad weight " ^ weight)
+                  in
+                  Ok ((name, { h_rank; h_weight; h_operator = operator }) :: acc)
+              | _ -> Error ("trailer: bad host line " ^ line))
+            (Ok []) rest
+        in
+        Ok (lo, hi, List.rev hosts)
+  | _ -> Error "trailer: truncated header"

@@ -1,0 +1,50 @@
+(** One simulated client connection, as the traffic population streams
+    it: who connected where, what resumption state was offered and
+    accepted, and which linkability chain the connection extends. The
+    row is the unit the {!Traffic_sink} spools and
+    [Analysis.Tracking_report] folds. *)
+
+type offered = O_fresh | O_session_id | O_ticket
+type resumed = R_no | R_session_id | R_ticket
+
+type t = {
+  time : int;  (** epoch seconds on the simulated clock *)
+  user : int;  (** global user id *)
+  page : int;  (** page-load ordinal within the user's history *)
+  hostname : string;  (** the domain connected to *)
+  page_host : string;
+      (** the page's first-party hostname — what a third-party observer
+          learns about the visit (the Referer, in browser terms) *)
+  primary : bool;  (** first-party connection of its page load *)
+  ok : bool;
+  offered : offered;
+  resumed : resumed;
+  new_ticket : bool;  (** the server issued a NewSessionTicket *)
+  chain : int;
+      (** linkability chain ordinal within (user, resumption scope): a
+          [O_fresh] offer starts a new chain; any state offer — accepted
+          or not, the bytes are on the wire either way — extends the
+          current one *)
+}
+
+val to_line : t -> string
+val of_line : string -> (t, string) result
+
+(** {2 Streamed day blocks and trailer}
+
+    Mirrors the {!Scanner.Daily_scan} stream codec: one spool block per
+    simulated day holding that day's rows in event order, and a trailer
+    naming every browsable domain with its rank, sampling weight and
+    operator (the coordinates the tracking analysis joins rows
+    against). *)
+
+val day_payload : day:int -> t list -> string
+val decode_day : string -> (int * t list, string) result
+
+type host_info = { h_rank : int; h_weight : float; h_operator : string }
+
+val trailer : users_lo:int -> users_hi:int -> (string * host_info) list -> string
+(** [users_lo..users_hi] (inclusive-exclusive) is the shard's user-id
+    range; the host table lists browsable domains in rank order. *)
+
+val decode_trailer : string -> (int * int * (string * host_info) list, string) result
