@@ -152,8 +152,39 @@ let kernel_benches () =
   let q_p256 = Ec.Reference.scalar_mult_base Ec.p256 (B.of_int 7919) in
   let sim_curve = Ec.generate_small ~bits:61 ~seed:"bench" in
   let k_sim = Crypto.Drbg.bignum_below rng (Ec.curve_order sim_curve) in
+  (* 2^31 - 1: the largest modulus the native-word pow_mod fast path
+     accepts; exercises the skip-Montgomery-entirely branch. *)
+  let m31 = B.of_int 0x7fffffff in
+  let ctx31 = B.mont_of_modulus m31 in
+  let base31 = Crypto.Drbg.bignum_below rng m31 in
+  let e31 = B.of_bytes_be (Crypto.Drbg.generate rng 8) in
+  (* Field-level micro-kernels: the specialized P-256 backend against the
+     generic Montgomery field on the same operands. *)
+  let module P = Crypto.P256_field in
+  let fp = B.Field.create P.modulus in
+  let fa = Crypto.Drbg.bignum_below rng P.modulus in
+  let fb = Crypto.Drbg.bignum_below rng P.modulus in
+  let pst = P.create_state () in
+  let pa = P.of_bignum fa and pb = P.of_bignum fb and pdst = P.zero () in
+  let ga = B.Field.of_bignum fp fa and gb = B.Field.of_bignum fp fb in
+  let p_mul () =
+    P.mul pst pdst pa pb;
+    pdst
+  in
+  let p_sqr () =
+    P.sqr pst pdst pa;
+    pdst
+  in
+  let g_mul () = B.Field.mul fp ga gb in
+  let g_sqr () = B.Field.sqr fp ga in
   let bn name f g = (name, (fun () -> ignore (Sys.opaque_identity (f ()))), (fun () -> ignore (Sys.opaque_identity (g ()))), B.equal (f ()) (g ())) in
   let pt name f g = (name, (fun () -> ignore (Sys.opaque_identity (f ()))), (fun () -> ignore (Sys.opaque_identity (g ()))), f () = g ()) in
+  let fe name f g =
+    ( name,
+      (fun () -> ignore (Sys.opaque_identity (f ()))),
+      (fun () -> ignore (Sys.opaque_identity (g ()))),
+      B.equal (P.to_bignum (f ())) (B.Field.to_bignum fp (g ())) )
+  in
   [
     bn "pow_mod-2048"
       (fun () -> B.pow_mod_ctx ctx2048 base2048 e256)
@@ -164,6 +195,11 @@ let kernel_benches () =
     bn "pow_mod-sim64"
       (fun () -> B.pow_mod_ctx sim_ctx sim_base sim_e)
       (fun () -> B.Reference.pow_mod_ctx sim_ctx sim_base sim_e);
+    bn "pow_mod-native31"
+      (fun () -> B.pow_mod_ctx ctx31 base31 e31)
+      (fun () -> B.Reference.pow_mod_ctx ctx31 base31 e31);
+    fe "field_mul-p256" p_mul g_mul;
+    fe "field_sqr-p256" p_sqr g_sqr;
     pt "scalar_mult_base-p256"
       (fun () -> Ec.scalar_mult_base Ec.p256 k_p256)
       (fun () -> Ec.Reference.scalar_mult_base Ec.p256 k_p256);
@@ -357,10 +393,47 @@ let check_baseline () =
             [ name; Printf.sprintf "%.0f" base_ops; Printf.sprintf "%.0f" ops; Printf.sprintf "%.2fx" ratio ])
       baseline
   in
+  (* Absolute speedup-vs-seed gates for the headline kernels: both sides
+     of each pair are measured in the same run, so the ratio is immune to
+     machine-speed drift that the raw ops/sec comparison above tolerates.
+     Floors: the P-256 ladder must hold its >= 3x win over the seed-era
+     reference, pow_mod-sim64 must never fall back below parity, and the
+     specialized field kernels must stay clearly ahead of the generic
+     Montgomery field. *)
+  let speedup_of name =
+    let rec go = function
+      | [] -> fail (Printf.sprintf "%s: kernel %S missing for speedup gate" current_path name)
+      | k :: rest -> (
+          match Option.bind (Json_io.member "name" k) Json_io.to_str with
+          | Some n when n = name -> (
+              match Option.bind (Json_io.member "speedup_vs_seed" k) Json_io.to_float with
+              | Some s -> s
+              | None -> fail (Printf.sprintf "%s: kernel %S lacks speedup_vs_seed" current_path name))
+          | _ -> go rest)
+    in
+    go (kernels current_json current_path)
+  in
+  let gate_speedup (name, floor) =
+    let s = speedup_of name in
+    if s < floor then
+      fail
+        (Printf.sprintf "kernel %S speedup %.2fx vs seed is below the %.2fx floor" name s floor);
+    Printf.sprintf "%-24s %6.2fx vs seed (floor %.2fx)\n" name s floor
+  in
+  let speedup_gates =
+    String.concat ""
+      (List.map gate_speedup
+         [
+           ("scalar_mult-p256", 3.0);
+           ("pow_mod-sim64", 1.0);
+           ("field_mul-p256", 2.0);
+           ("field_sqr-p256", 2.0);
+         ])
+  in
   Analysis.Report.section "Baseline check (current vs committed BENCH_baseline.json)"
   ^ "\n"
   ^ Analysis.Report.table ~headers:[ "Kernel"; "Baseline ops/s"; "Current ops/s"; "Ratio" ] ~rows
-  ^ "\n\nAll kernels within 2x of baseline.\n" ^ campaign_gate ^ traffic_gate
+  ^ "\n\nAll kernels within 2x of baseline.\n" ^ speedup_gates ^ campaign_gate ^ traffic_gate
 
 (* --- Microbenchmarks ----------------------------------------------------------- *)
 

@@ -311,8 +311,9 @@ let mont_of_modulus (m : t) : mont =
   }
 
 (* Subtract the modulus in place from an (n+1)-limb accumulator whose value
-   is known to lie in [0, 2m); shared tail of the two kernels below. *)
-let cond_sub_m ctx (t : int array) (hi : int) : int array =
+   is known to lie in [0, 2m); shared tail of the kernels below. Writes the
+   n-limb result into [out]. *)
+let cond_sub_m_into ctx (t : int array) (hi : int) (out : int array) : unit =
   let n = ctx.n in
   let m = ctx.m in
   let ge =
@@ -326,7 +327,6 @@ let cond_sub_m ctx (t : int array) (hi : int) : int array =
     in
     go (n - 1)
   in
-  let out = Array.make n 0 in
   if ge then begin
     let borrow = ref 0 in
     for i = 0 to n - 1 do
@@ -341,7 +341,11 @@ let cond_sub_m ctx (t : int array) (hi : int) : int array =
       end
     done
   end
-  else Array.blit t hi out 0 n;
+  else Array.blit t hi out 0 n
+
+let cond_sub_m ctx (t : int array) (hi : int) : int array =
+  let out = Array.make ctx.n 0 in
+  cond_sub_m_into ctx t hi out;
   out
 
 (* Fused CIOS Montgomery multiplication: out = a * b * R^-1 mod m. The
@@ -373,6 +377,34 @@ let mont_mul ctx (a : int array) (b : int array) : int array =
     Array.unsafe_set t n (s lsr limb_bits)
   done;
   cond_sub_m ctx t 0
+
+(* Same fused CIOS pass writing into caller-provided buffers: [t] is an
+   (n+1)-limb scratch, [dst] receives the n-limb result. [dst] may alias
+   [a] or [b] — the accumulator lives in [t] and [dst] is only written by
+   the final conditional subtract. Lets the few-limb exponentiation ladder
+   below run without a single allocation per Montgomery operation. *)
+let mont_mul_into ctx (t : int array) (dst : int array) (a : int array) (b : int array) : unit =
+  let n = ctx.n in
+  let m = ctx.m in
+  let n0' = ctx.n0' in
+  Array.fill t 0 (n + 1) 0;
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    let s0 = Array.unsafe_get t 0 + (ai * Array.unsafe_get b 0) in
+    let u = (s0 land mask) * n0' land mask in
+    let carry = ref ((s0 + (u * Array.unsafe_get m 0)) lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let s =
+        Array.unsafe_get t j + (ai * Array.unsafe_get b j) + (u * Array.unsafe_get m j) + !carry
+      in
+      Array.unsafe_set t (j - 1) (s land mask);
+      carry := s lsr limb_bits
+    done;
+    let s = Array.unsafe_get t n + !carry in
+    Array.unsafe_set t (n - 1) (s land mask);
+    Array.unsafe_set t n (s lsr limb_bits)
+  done;
+  cond_sub_m_into ctx t 0 dst
 
 (* Dedicated squaring via finely-integrated product scanning (FIPS):
    each output column accumulates its doubled cross products, its diagonal
@@ -465,11 +497,65 @@ let bits_range (e : t) lo hi =
   done;
   !v
 
+(* Few-limb exponentiation ladder: below ~5 limbs the generic path's
+   per-operation allocations (CIOS accumulator, kernel output, squaring
+   scratch) cost more than the arithmetic itself, so this variant walks
+   the same sliding window through {!mont_mul_into} with one shared
+   scratch and a single in-place accumulator. Squarings reuse the fused
+   multiplier — at this size the dedicated squaring kernel's setup
+   overhead outweighs the multiplications it saves. *)
+let pow_mont_small (ctx : mont) (am : int array) (e : t) : int array =
+  let n = ctx.n in
+  let ebits = num_bits e in
+  let w = window_width ebits in
+  let t = Array.make (n + 1) 0 in
+  let tbl =
+    if w = 1 then [| am |]
+    else begin
+      let tbl = Array.init (1 lsl (w - 1)) (fun _ -> Array.make n 0) in
+      Array.blit am 0 tbl.(0) 0 n;
+      let a2 = Array.make n 0 in
+      mont_mul_into ctx t a2 am am;
+      for i = 1 to Array.length tbl - 1 do
+        mont_mul_into ctx t tbl.(i) tbl.(i - 1) a2
+      done;
+      tbl
+    end
+  in
+  let acc = Array.make n 0 in
+  let started = ref false in
+  let i = ref (ebits - 1) in
+  while !i >= 0 do
+    if not (test_bit e !i) then begin
+      if !started then mont_mul_into ctx t acc acc acc;
+      decr i
+    end
+    else begin
+      let l = ref (max 0 (!i - w + 1)) in
+      while not (test_bit e !l) do
+        incr l
+      done;
+      let v = bits_range e !l !i in
+      if !started then begin
+        for _ = 1 to !i - !l + 1 do
+          mont_mul_into ctx t acc acc acc
+        done;
+        mont_mul_into ctx t acc acc tbl.((v - 1) / 2)
+      end
+      else Array.blit tbl.((v - 1) / 2) 0 acc 0 n;
+      started := true;
+      i := !l - 1
+    end
+  done;
+  acc
+
 (* Left-to-right sliding-window exponentiation over a Montgomery context:
    squarings take the dedicated [mont_sqr] path; multiplications hit a
    precomputed odd-powers table a^1, a^3, …, a^(2^w − 1), so runs of zero
    bits cost squarings only. *)
 let pow_mont (ctx : mont) (am : int array) (e : t) : int array =
+  if ctx.n <= 4 then pow_mont_small ctx am e
+  else
   let ebits = num_bits e in
   let w = window_width ebits in
   if w = 1 then begin
@@ -514,16 +600,43 @@ let pow_mont (ctx : mont) (am : int array) (e : t) : int array =
     !acc
   end
 
+(* Native-word fast path: when the modulus fits 31 bits, every product of
+   two residues fits a 62-bit tagged int, so plain square-and-multiply on
+   hardware integers (with hardware division for the reduction) beats any
+   limb-array machinery — and requires no Montgomery setup at all. The
+   31-bit cap is exactly the point where a*b can no longer overflow the
+   63-bit native int. Caller guarantees m >= 2 and e > 0. *)
+let pow_mod_native_bits = 31
+
+let pow_mod_native (mi : int) (a : t) (e : t) : t =
+  let ai = to_int_exn (rem a (of_int mi)) in
+  let acc = ref ai in
+  for i = num_bits e - 2 downto 0 do
+    acc := !acc * !acc mod mi;
+    if test_bit e i then acc := !acc * ai mod mi
+  done;
+  of_int !acc
+
 let pow_mod_ctx (ctx : mont) (a : t) (e : t) : t =
   Obs.Kernel.(bump pow_mod);
-  if is_zero e then rem one ctx.modulus else of_mont ctx (pow_mont ctx (to_mont ctx a) e)
+  if is_zero e then rem one ctx.modulus
+  else if num_bits ctx.modulus <= pow_mod_native_bits then
+    pow_mod_native (to_int_exn ctx.modulus) a e
+  else of_mont ctx (pow_mont ctx (to_mont ctx a) e)
 
-(* a^e mod m. Montgomery sliding-window for odd m; generic
-   square-and-multiply with binary reduction otherwise. *)
+(* a^e mod m. Native ints for word-sized m (no Montgomery setup at all);
+   Montgomery sliding-window for other odd m; generic square-and-multiply
+   with binary reduction otherwise. *)
 let pow_mod (a : t) (e : t) (m : t) : t =
   if is_zero m then raise Division_by_zero;
   if is_one m then zero
   else if is_zero e then rem one m
+  else if num_bits m <= pow_mod_native_bits then begin
+    (* Same kernel-counter semantics as before the fast path: odd moduli
+       counted as a pow_mod kernel hit, even ones never did. *)
+    if not (is_even m) then Obs.Kernel.(bump pow_mod);
+    pow_mod_native (to_int_exn m) a e
+  end
   else if is_even m then begin
     (* Right-to-left square and multiply with explicit reduction; even
        moduli never occur on hot paths. *)

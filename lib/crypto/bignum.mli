@@ -96,7 +96,12 @@ val mod_inverse_prime : t -> t -> t
     each. The modulus must be odd; callers use prime moduli. *)
 module Field : sig
   type ctx
-  type fe
+
+  type fe = int array
+  (** Montgomery-form limbs. The representation is exposed so {!Ec} can
+      dispatch between this generic backend and the specialized
+      {!P256_field} one behind a single array-based interface; treat
+      values as opaque outside those two modules. *)
 
   val create : t -> ctx
   val modulus : ctx -> t

@@ -26,15 +26,31 @@ let of_int_seed n = create ~seed:(Printf.sprintf "seed:%d" n)
 
 let reseed t entropy = update t entropy
 
+(* Core draw: one HMAC per 32-byte block, written straight into the
+   caller's buffer. [generate_into t buf ~pos ~len] advances (K, V)
+   exactly as a [generate t len] would, so the two are interchangeable
+   mid-stream; hot paths use this to fill preallocated buffers without
+   the Buffer/copy churn of the string variant. *)
+let generate_into t (buf : Bytes.t) ~pos ~len =
+  if len < 0 then invalid_arg "Drbg.generate_into: negative length";
+  if pos < 0 || pos > Bytes.length buf - len then
+    invalid_arg "Drbg.generate_into: range out of bounds";
+  let off = ref pos in
+  let remaining = ref len in
+  while !remaining > 0 do
+    t.v <- Hmac.sha256 ~key:t.k t.v;
+    let chunk = if !remaining < 32 then !remaining else 32 in
+    Bytes.blit_string t.v 0 buf !off chunk;
+    off := !off + chunk;
+    remaining := !remaining - chunk
+  done;
+  update t ""
+
 let generate t n =
   if n < 0 then invalid_arg "Drbg.generate: negative length";
-  let buf = Buffer.create n in
-  while Buffer.length buf < n do
-    t.v <- Hmac.sha256 ~key:t.k t.v;
-    Buffer.add_string buf t.v
-  done;
-  update t "";
-  Buffer.sub buf 0 n
+  let buf = Bytes.create n in
+  generate_into t buf ~pos:0 ~len:n;
+  Bytes.unsafe_to_string buf
 
 let fork t ~label = create ~seed:(generate t 32 ^ "|" ^ label)
 
@@ -49,14 +65,22 @@ let restore ~state:(k, v) =
 
 (* --- Convenience draws --------------------------------------------------- *)
 
-let byte t = Char.code (generate t 1).[0]
+let byte t =
+  (* One block draw; stream-equivalent to [generate t 1] but with only
+     the unavoidable HMAC allocations. *)
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  let b = Char.code t.v.[0] in
+  update t "";
+  b
 
 let bits62 t =
-  let s = generate t 8 in
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  let v = t.v in
   let acc = ref 0 in
   for i = 0 to 7 do
-    acc := (!acc lsl 8) lor Char.code s.[i]
+    acc := (!acc lsl 8) lor Char.code (String.unsafe_get v i)
   done;
+  update t "";
   !acc land max_int
 
 let int_below t n =
@@ -119,8 +143,9 @@ let bignum_below t (n : Bignum.t) =
   (* Mask the top byte down to [bits] so the acceptance rate of the
      rejection sampling is at least 1/2. *)
   let top_mask = 0xff lsr (8 - (((bits - 1) mod 8) + 1)) in
+  let raw = Bytes.create bytes in
   let rec go () =
-    let raw = Bytes.of_string (generate t bytes) in
+    generate_into t raw ~pos:0 ~len:bytes;
     Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) land top_mask));
     let v = Bignum.of_bytes_be (Bytes.unsafe_to_string raw) in
     if Bignum.compare v n < 0 then v else go ()

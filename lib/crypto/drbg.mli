@@ -12,6 +12,13 @@ val reseed : t -> string -> unit
 val generate : t -> int -> string
 (** [generate t n] produces [n] pseudorandom bytes. *)
 
+val generate_into : t -> Bytes.t -> pos:int -> len:int -> unit
+(** [generate_into t buf ~pos ~len] writes [len] pseudorandom bytes into
+    [buf] at [pos] with no intermediate copies. Draws the same stream as
+    {!generate}: a [generate_into] of [len] advances the generator state
+    exactly as [generate t len] would. Raises [Invalid_argument] if the
+    range falls outside [buf]. *)
+
 val fork : t -> label:string -> t
 (** Derive an independent child generator; children with distinct labels
     produce independent streams regardless of later draws from the

@@ -15,8 +15,13 @@
    [scalar_mult] recodes the scalar in width-w NAF against a table of odd
    multiples, and [scalar_mult_base] walks a per-curve fixed-base comb of
    affine points (built once in [make_curve]) with mixed additions. The
-   seed-era double-and-add loop survives in {!Reference} as the semantic
-   baseline for property tests and the bench harness.
+   ladders run over a destination-passing field backend ({!fops}): the
+   generic [Bignum.Field] for simulation curves, and the specialized
+   {!P256_field} (Solinas reduction, no Montgomery form) whenever the
+   curve's field prime is the NIST P-256 prime — so the inner loop does
+   no per-operation boxing at all. The seed-era double-and-add loop
+   survives in {!Reference} as the semantic baseline for property tests
+   and the bench harness.
 
    Arithmetic is not constant-time; this library measures protocol
    behaviour, it does not defend live traffic. *)
@@ -29,6 +34,7 @@ type curve = {
   a : F.fe;
   b : F.fe;
   a_is_minus3 : bool;
+  use_p256 : bool; (* field prime = P-256 prime: use the Solinas backend *)
   gx : Bignum.t;
   gy : Bignum.t;
   n : Bignum.t; (* order of the base point *)
@@ -40,8 +46,10 @@ type curve = {
 (* Lim–Lee comb over the base point: [ctable.(j)] is the affine form of
    Σ_{k ∈ bits j} 2^(k·cd) · G ([None] for the point at infinity, which a
    tooth pattern can hit when the implied scalar is a multiple of n).
-   Affine entries make every comb addition a mixed addition. *)
-and comb = { cw : int; cd : int; ctable : (F.fe * F.fe) option array }
+   Entries are stored in the curve's backend representation (Montgomery
+   limbs for generic curves, Solinas limbs for P-256), so every comb
+   addition is a mixed addition with no conversion. *)
+and comb = { cw : int; cd : int; ctable : (int array * int array) option array }
 
 type point = Inf | Affine of Bignum.t * Bignum.t
 
@@ -73,8 +81,6 @@ let of_jac c j =
     let y = F.mul f j.y (F.mul f zinv2 zinv) in
     Affine (F.to_bignum f x, F.to_bignum f y)
   end
-
-let jac_neg c j = if jac_is_inf j then j else { j with y = F.neg c.fctx j.y }
 
 let jac_double c j =
   if jac_is_inf j || F.is_zero j.y then jac_inf c
@@ -123,127 +129,472 @@ let jac_add c p q =
     end
   end
 
-(* Mixed addition p + (qx, qy) with the second operand affine (Z = 1):
-   saves four multiplications and a squaring over [jac_add]; it is what
-   makes the comb's affine table pay. *)
-let jac_add_affine c p ((qx, qy) : F.fe * F.fe) =
-  if jac_is_inf p then { x = qx; y = qy; z = F.one c.fctx }
+(* --- Field backend dispatch -----------------------------------------------
+
+   Both field representations are raw [int array]s (Montgomery limbs for
+   the generic backend, 29-bit Solinas limbs for P-256), so the point
+   formulas below are written once against a small dispatch layer: a
+   variant names the backend, and every op is a module-level function
+   that branches on it once — a perfectly-predicted branch plus a direct
+   call on each arm, measurably cheaper in the ladder than a record of
+   closures. The specialized ops mutate in place with per-workspace
+   scratch; the generic ones compute functionally and blit, which keeps
+   [Bignum.Field] untouched. Destinations may alias operands in every
+   op. *)
+
+type fops =
+  | P256 of P256_field.state
+  | Generic of F.ctx
+
+let backend_width = function
+  | P256 _ -> P256_field.words
+  | Generic fctx -> Array.length (F.zero fctx)
+
+let gblit r dst = Array.blit r 0 dst 0 (Array.length r)
+
+let fmul o dst a b =
+  match o with
+  | P256 st -> P256_field.mul st dst a b
+  | Generic f -> gblit (F.mul f a b) dst
+
+let fsqr o dst a =
+  match o with
+  | P256 st -> P256_field.sqr st dst a
+  | Generic f -> gblit (F.sqr f a) dst
+
+let fadd o dst a b =
+  match o with
+  | P256 _ -> P256_field.add dst a b
+  | Generic f -> gblit (F.add f a b) dst
+
+let fsub o dst a b =
+  match o with
+  | P256 _ -> P256_field.sub dst a b
+  | Generic f -> gblit (F.sub f a b) dst
+
+let fmuls o dst a k =
+  match o with
+  | P256 _ -> P256_field.mul_small dst a k
+  | Generic f -> gblit (F.mul_small f a k) dst
+
+let fneg o dst a =
+  match o with
+  | P256 _ -> P256_field.neg dst a
+  | Generic f -> gblit (F.neg f a) dst
+
+let finv o dst a =
+  match o with
+  | P256 st -> P256_field.inv st dst a
+  | Generic f -> gblit (F.inv f a) dst
+
+let fz o a = match o with P256 _ -> P256_field.is_zero a | Generic _ -> F.is_zero a
+let feq o a b = match o with P256 _ -> P256_field.equal a b | Generic _ -> F.equal a b
+
+let fone o dst =
+  match o with
+  | P256 _ -> P256_field.set_one dst
+  | Generic f -> gblit (F.one f) dst
+
+let fof o v =
+  match o with
+  | P256 _ -> P256_field.of_bignum v
+  | Generic f -> F.of_bignum f v
+
+let fto o a =
+  match o with
+  | P256 _ -> P256_field.to_bignum a
+  | Generic f -> F.to_bignum f a
+
+(* A mutable Jacobian point over the backend representation. The array
+   fields are mutable so a table entry can be viewed through a negated-y
+   scratch buffer without copying (wNAF negative digits). *)
+type jpt = {
+  mutable jx : int array;
+  mutable jy : int array;
+  mutable jz : int array;
+  mutable jinf : bool;
+}
+
+(* Per-call workspace: the backend ops plus temporaries for the point
+   formulas. Never shared across domains (parallel campaigns run one
+   workspace per call). *)
+type ws = {
+  o : fops;
+  ca : int array; (* curve [a] in backend representation *)
+  t1 : int array;
+  t2 : int array;
+  t3 : int array;
+  t4 : int array;
+  t5 : int array;
+  t6 : int array;
+  t7 : int array;
+  nbuf : int array; (* negated y for wNAF table lookups *)
+  tneg : jpt; (* view of a table entry with y := nbuf *)
+}
+
+let jpt_make o =
+  let w = backend_width o in
+  { jx = Array.make w 0; jy = Array.make w 0; jz = Array.make w 0; jinf = true }
+
+let jpt_blit dst src =
+  gblit src.jx dst.jx;
+  gblit src.jy dst.jy;
+  gblit src.jz dst.jz;
+  dst.jinf <- src.jinf
+
+let make_ws c =
+  let o =
+    if c.use_p256 then P256 (P256_field.create_state ()) else Generic c.fctx
+  in
+  let mk () = Array.make (backend_width o) 0 in
+  {
+    o;
+    ca = fof o (F.to_bignum c.fctx c.a);
+    t1 = mk ();
+    t2 = mk ();
+    t3 = mk ();
+    t4 = mk ();
+    t5 = mk ();
+    t6 = mk ();
+    t7 = mk ();
+    nbuf = mk ();
+    tneg = { jx = mk (); jy = mk (); jz = mk (); jinf = false };
+  }
+
+let jpt_of_point ws dst = function
+  | Inf -> dst.jinf <- true
+  | Affine (x, y) ->
+      dst.jx <- fof ws.o x;
+      dst.jy <- fof ws.o y;
+      fone ws.o dst.jz;
+      dst.jinf <- false
+
+let point_of_jpt ws j =
+  if j.jinf || fz ws.o j.jz then Inf
   else begin
-    let f = c.fctx in
-    let z2 = F.sqr f p.z in
-    let u2 = F.mul f qx z2 in
-    let s2 = F.mul f qy (F.mul f z2 p.z) in
-    if F.equal p.x u2 then
-      if F.equal p.y s2 then jac_double c p else jac_inf c
+    let o = ws.o in
+    finv o ws.t1 j.jz;
+    fsqr o ws.t2 ws.t1;
+    fmul o ws.t3 j.jx ws.t2;
+    fmul o ws.t4 ws.t2 ws.t1;
+    fmul o ws.t5 j.jy ws.t4;
+    Affine (fto o ws.t3, fto o ws.t5)
+  end
+
+(* p <- 2p, in place. Curves with a = -3 (P-256 and friends) take the
+   3M + 5S dbl-2001-b route:
+     delta = z^2, gamma = y^2, beta = x*gamma,
+     alpha = 3(x - delta)(x + delta),
+     x' = alpha^2 - 8 beta, z' = (y + z)^2 - gamma - delta,
+     y' = alpha(4 beta - x') - 8 gamma^2.
+   Other curves keep the general dbl-1986-cc formulas (as [jac_double]). *)
+let rec jpt_dbl c ws p =
+  if p.jinf then ()
+  else if fz ws.o p.jy then p.jinf <- true
+  else
+    match ws.o with
+    | P256 st when c.a_is_minus3 ->
+        (* One direct call into the fused backend kernel instead of
+           fourteen dispatched field ops. *)
+        P256_field.point_dbl st p.jx p.jy p.jz
+    | _ -> jpt_dbl_generic c ws p
+
+and jpt_dbl_generic c ws p =
+  if c.a_is_minus3 then begin
+    let o = ws.o in
+    fsqr o ws.t1 p.jz (* delta *);
+    fsqr o ws.t2 p.jy (* gamma *);
+    fmul o ws.t3 p.jx ws.t2 (* beta *);
+    fsub o ws.t4 p.jx ws.t1;
+    fadd o ws.t5 p.jx ws.t1;
+    fmul o ws.t4 ws.t4 ws.t5;
+    fmuls o ws.t4 ws.t4 3 (* alpha *);
+    fadd o ws.t5 p.jy p.jz;
+    fsqr o ws.t5 ws.t5;
+    fsub o ws.t5 ws.t5 ws.t2;
+    fsub o ws.t5 ws.t5 ws.t1 (* z' = (y+z)^2 - gamma - delta *);
+    fsqr o ws.t6 ws.t4;
+    fmuls o ws.t7 ws.t3 8;
+    fsub o p.jx ws.t6 ws.t7 (* x' = alpha^2 - 8 beta *);
+    fmuls o ws.t6 ws.t3 4;
+    fsub o ws.t6 ws.t6 p.jx;
+    fmul o ws.t6 ws.t4 ws.t6 (* alpha (4 beta - x') *);
+    fsqr o ws.t7 ws.t2;
+    fmuls o ws.t7 ws.t7 8 (* 8 gamma^2 *);
+    fsub o p.jy ws.t6 ws.t7;
+    gblit ws.t5 p.jz
+  end
+  else begin
+    let o = ws.o in
+    fsqr o ws.t1 p.jy (* y^2 *);
+    fmul o ws.t2 p.jx ws.t1;
+    fmuls o ws.t2 ws.t2 4 (* s = 4xy^2 *);
+    fsqr o ws.t4 p.jx;
+    fmuls o ws.t4 ws.t4 3 (* 3x^2 *);
+    fsqr o ws.t5 p.jz;
+    fsqr o ws.t5 ws.t5 (* z^4 *);
+    fmul o ws.t6 ws.ca ws.t5;
+    fadd o ws.t3 ws.t4 ws.t6 (* m = 3x^2 + a z^4 *);
+    fmul o ws.t7 p.jy p.jz;
+    fmuls o ws.t7 ws.t7 2 (* z' = 2yz *);
+    fsqr o ws.t5 ws.t3;
+    fmuls o ws.t6 ws.t2 2;
+    fsub o p.jx ws.t5 ws.t6 (* x' = m^2 - 2s *);
+    fsub o ws.t5 ws.t2 p.jx;
+    fmul o ws.t6 ws.t3 ws.t5 (* m(s - x') *);
+    fsqr o ws.t5 ws.t1;
+    fmuls o ws.t5 ws.t5 8 (* 8y^4 *);
+    fsub o p.jy ws.t6 ws.t5;
+    gblit ws.t7 p.jz
+  end
+
+(* p <- p + q, in place; [q] is only read and must not share buffers with
+   [p]. Same add-1986-cc formulas as [jac_add]. *)
+let rec jpt_add c ws p q =
+  if q.jinf then ()
+  else if p.jinf then jpt_blit p q
+  else
+    match ws.o with
+    | P256 st -> (
+        match P256_field.point_add st p.jx p.jy p.jz q.jx q.jy q.jz with
+        | 1 -> jpt_dbl c ws p
+        | 2 -> p.jinf <- true
+        | _ -> ())
+    | Generic _ -> jpt_add_generic c ws p q
+
+and jpt_add_generic c ws p q =
+  begin
+    let o = ws.o in
+    fsqr o ws.t1 p.jz (* z1^2 *);
+    fsqr o ws.t2 q.jz (* z2^2 *);
+    fmul o ws.t3 p.jx ws.t2 (* u1 *);
+    fmul o ws.t4 q.jx ws.t1 (* u2 *);
+    fmul o ws.t5 ws.t2 q.jz;
+    fmul o ws.t5 p.jy ws.t5 (* s1 = y1 z2^3 *);
+    fmul o ws.t6 ws.t1 p.jz;
+    fmul o ws.t6 q.jy ws.t6 (* s2 = y2 z1^3 *);
+    if feq o ws.t3 ws.t4 then
+      if feq o ws.t5 ws.t6 then jpt_dbl c ws p else p.jinf <- true
     else begin
-      let h = F.sub f u2 p.x in
-      let r = F.sub f s2 p.y in
-      let h2 = F.sqr f h in
-      let h3 = F.mul f h2 h in
-      let v = F.mul f p.x h2 in
-      let x3 = F.sub f (F.sub f (F.sqr f r) h3) (F.mul_small f v 2) in
-      let y3 = F.sub f (F.mul f r (F.sub f v x3)) (F.mul f p.y h3) in
-      { x = x3; y = y3; z = F.mul f p.z h }
+      fsub o ws.t4 ws.t4 ws.t3 (* h = u2 - u1 *);
+      fsub o ws.t6 ws.t6 ws.t5 (* r = s2 - s1 *);
+      fmul o ws.t7 p.jz q.jz;
+      fmul o p.jz ws.t7 ws.t4 (* z3 = h z1 z2 *);
+      fsqr o ws.t1 ws.t4 (* h^2 *);
+      fmul o ws.t2 ws.t1 ws.t4 (* h^3 *);
+      fmul o ws.t7 ws.t3 ws.t1 (* u1 h^2 *);
+      fsqr o ws.t1 ws.t6;
+      fsub o ws.t1 ws.t1 ws.t2 (* r^2 - h^3 *);
+      fmuls o ws.t4 ws.t7 2;
+      fsub o p.jx ws.t1 ws.t4 (* x3 = r^2 - h^3 - 2 u1 h^2 *);
+      fsub o ws.t1 ws.t7 p.jx;
+      fmul o ws.t3 ws.t6 ws.t1 (* r (u1 h^2 - x3) *);
+      fmul o ws.t1 ws.t5 ws.t2 (* s1 h^3 *);
+      fsub o p.jy ws.t3 ws.t1
+    end
+  end
+
+(* p <- p + (ax, ay) with the second operand affine (Z = 1): saves four
+   multiplications and a squaring over [jpt_add]; it is what makes the
+   comb's affine table pay. *)
+let rec jpt_add_affine c ws p ax ay =
+  let o = ws.o in
+  if p.jinf then begin
+    gblit ax p.jx;
+    gblit ay p.jy;
+    fone o p.jz;
+    p.jinf <- false
+  end
+  else
+    match o with
+    | P256 st -> (
+        match P256_field.point_add_affine st p.jx p.jy p.jz ax ay with
+        | 1 -> jpt_dbl c ws p
+        | 2 -> p.jinf <- true
+        | _ -> ())
+    | Generic _ -> jpt_add_affine_generic c ws p ax ay
+
+and jpt_add_affine_generic c ws p ax ay =
+  let o = ws.o in
+  begin
+    fsqr o ws.t1 p.jz (* z1^2 *);
+    fmul o ws.t2 ax ws.t1 (* u2 *);
+    fmul o ws.t3 ws.t1 p.jz;
+    fmul o ws.t3 ay ws.t3 (* s2 = ay z1^3 *);
+    if feq o p.jx ws.t2 then
+      if feq o p.jy ws.t3 then jpt_dbl c ws p else p.jinf <- true
+    else begin
+      fsub o ws.t2 ws.t2 p.jx (* h *);
+      fsub o ws.t3 ws.t3 p.jy (* r *);
+      fmul o p.jz p.jz ws.t2 (* z3 = z1 h *);
+      fsqr o ws.t4 ws.t2 (* h^2 *);
+      fmul o ws.t5 ws.t4 ws.t2 (* h^3 *);
+      fmul o ws.t6 p.jx ws.t4 (* v = x1 h^2 *);
+      fsqr o ws.t4 ws.t3;
+      fsub o ws.t4 ws.t4 ws.t5 (* r^2 - h^3 *);
+      fmuls o ws.t7 ws.t6 2;
+      fsub o p.jx ws.t4 ws.t7 (* x3 *);
+      fsub o ws.t4 ws.t6 p.jx;
+      fmul o ws.t6 ws.t3 ws.t4 (* r (v - x3) *);
+      fmul o ws.t4 p.jy ws.t5 (* y1 h^3 *);
+      fsub o p.jy ws.t6 ws.t4
     end
   end
 
 (* --- Scalar multiplication ----------------------------------------------- *)
 
-(* Low [bits] bits of [k] as an int; bits <= 6 in practice. *)
-let low_bits k bits =
-  let v = ref 0 in
-  for i = bits - 1 downto 0 do
-    v := (!v lsl 1) lor (if Bignum.test_bit k i then 1 else 0)
-  done;
-  !v
-
 (* Width-w NAF recoding, least significant digit first: digits are zero or
    odd in [-(2^w - 1), 2^w - 1], with at least w zeros after each nonzero
-   digit, so a b-bit scalar needs ~b/(w+1) point additions. *)
+   digit, so a b-bit scalar needs ~b/(w+1) point additions.
+
+   The scalar's bits are copied once into a scratch bit array and the
+   recoding runs entirely on native ints: a negative digit clears its
+   window and propagates a +1 carry upward, instead of re-materialising
+   the shrinking scalar as a fresh [Bignum.t] per bit (~300 short-lived
+   allocations per 256-bit scalar on the old path). *)
 let wnaf_digits ~w k =
-  let digits = Array.make (Bignum.num_bits k + 2) 0 in
-  let len = ref 0 in
+  let nbits = Bignum.num_bits k in
+  let digits = Array.make (nbits + 2) 0 in
+  (* Room above the top bit: the carry can extend the scalar by one bit,
+     and windows read w bits past the current position. *)
+  let bits = Array.make (nbits + w + 2) 0 in
+  for i = 0 to nbits - 1 do
+    bits.(i) <- (if Bignum.test_bit k i then 1 else 0)
+  done;
   let half = 1 lsl w in
   let full = 1 lsl (w + 1) in
-  let k = ref k in
-  while not (Bignum.is_zero !k) do
-    let dig =
-      if Bignum.test_bit !k 0 then begin
-        let d = low_bits !k (w + 1) in
-        if d >= half then begin
-          (* Centered residue d - 2^(w+1): subtracting it adds to k. *)
-          k := Bignum.add_int !k (full - d);
-          d - full
-        end
-        else begin
-          k := Bignum.sub_int !k d;
-          d
-        end
-      end
-      else 0
-    in
-    digits.(!len) <- dig;
+  let top = ref (nbits - 1) in
+  let pos = ref 0 in
+  let len = ref 0 in
+  while !pos <= !top do
+    (if bits.(!pos) = 0 then digits.(!len) <- 0
+     else begin
+       let d = ref 0 in
+       for j = w downto 0 do
+         d := (!d lsl 1) lor bits.(!pos + j)
+       done;
+       let dv = !d in
+       for j = 0 to w do
+         bits.(!pos + j) <- 0
+       done;
+       if dv >= half then begin
+         (* Centered residue dv - 2^(w+1): subtracting it adds 2^(w+1)
+            at [pos], i.e. a carry entering at [pos + w + 1]. *)
+         let i = ref (!pos + w + 1) in
+         while !i <= !top && bits.(!i) = 1 do
+           bits.(!i) <- 0;
+           incr i
+         done;
+         bits.(!i) <- 1;
+         if !i > !top then top := !i;
+         digits.(!len) <- dv - full
+       end
+       else begin
+         (* The window held the remaining top bits: nothing left above. *)
+         if !pos + w >= !top then top := !pos;
+         digits.(!len) <- dv
+       end
+     end);
     incr len;
-    k := Bignum.shift_right !k 1
+    incr pos
   done;
   (digits, !len)
 
-let wnaf_width kbits = if kbits <= 16 then 2 else if kbits <= 64 then 3 else 4
+let wnaf_width kbits =
+  if kbits <= 16 then 2 else if kbits <= 64 then 3 else if kbits <= 160 then 4 else 5
 
-let jac_scalar_mult c k p =
-  if Bignum.is_zero k || jac_is_inf p then jac_inf c
+(* acc <- k * p over the workspace backend. [p] is only read. *)
+let jac_scalar_mult_ws c ws k p acc =
+  if Bignum.is_zero k || p.jinf then acc.jinf <- true
   else begin
+    let o = ws.o in
     let w = wnaf_width (Bignum.num_bits k) in
     (* Odd multiples P, 3P, 5P, …, (2^w - 1)P. *)
-    let tbl = Array.make (1 lsl (w - 1)) p in
-    let p2 = jac_double c p in
+    let tbl = Array.init (1 lsl (w - 1)) (fun _ -> jpt_make o) in
+    jpt_blit tbl.(0) p;
+    let p2 = jpt_make o in
+    jpt_blit p2 p;
+    jpt_dbl c ws p2;
     for i = 1 to Array.length tbl - 1 do
-      tbl.(i) <- jac_add c tbl.(i - 1) p2
+      jpt_blit tbl.(i) tbl.(i - 1);
+      jpt_add c ws tbl.(i) p2
     done;
     let digits, len = wnaf_digits ~w k in
-    let acc = ref (jac_inf c) in
+    acc.jinf <- true;
     for i = len - 1 downto 0 do
-      acc := jac_double c !acc;
+      jpt_dbl c ws acc;
       let d = digits.(i) in
-      if d > 0 then acc := jac_add c !acc tbl.((d - 1) / 2)
-      else if d < 0 then acc := jac_add c !acc (jac_neg c tbl.((-d - 1) / 2))
-    done;
-    !acc
+      if d > 0 then jpt_add c ws acc tbl.((d - 1) / 2)
+      else if d < 0 then begin
+        (* View the table entry through the negated-y scratch: no copy,
+           no allocation. *)
+        let q = tbl.((-d - 1) / 2) in
+        let tneg = ws.tneg in
+        fneg o ws.nbuf q.jy;
+        tneg.jx <- q.jx;
+        tneg.jy <- ws.nbuf;
+        tneg.jz <- q.jz;
+        tneg.jinf <- q.jinf;
+        jpt_add c ws acc tneg
+      end
+    done
   end
 
 let scalar_mult c k p =
   Obs.Kernel.(bump ec_scalar_mult);
-  of_jac c (jac_scalar_mult c k (to_jac c p))
+  match p with
+  | Inf -> Inf
+  | Affine _ ->
+      let ws = make_ws c in
+      let pj = jpt_make ws.o in
+      jpt_of_point ws pj p;
+      let acc = jpt_make ws.o in
+      jac_scalar_mult_ws c ws k pj acc;
+      point_of_jpt ws acc
 
-let jac_scalar_mult_base c k =
+(* acc <- k * G via the fixed-base comb. *)
+let jac_scalar_mult_base_ws c ws k acc =
   let { cw; cd; ctable } = c.comb in
-  if Bignum.is_zero k then jac_inf c
-  else if Bignum.num_bits k > cw * cd then
+  if Bignum.is_zero k then acc.jinf <- true
+  else if Bignum.num_bits k > cw * cd then begin
     (* Wider than the comb covers (scalars beyond the group order);
        correctness over speed. *)
-    jac_scalar_mult c k (to_jac c (base_point c))
+    let g = jpt_make ws.o in
+    jpt_of_point ws g (Affine (c.gx, c.gy));
+    jac_scalar_mult_ws c ws k g acc
+  end
   else begin
-    let acc = ref (jac_inf c) in
+    acc.jinf <- true;
     for i = cd - 1 downto 0 do
-      acc := jac_double c !acc;
+      jpt_dbl c ws acc;
       let j = ref 0 in
       for t = cw - 1 downto 0 do
         j := (!j lsl 1) lor (if Bignum.test_bit k (i + (t * cd)) then 1 else 0)
       done;
       if !j <> 0 then
         match ctable.(!j) with
-        | Some ap -> acc := jac_add_affine c !acc ap
+        | Some (ax, ay) -> jpt_add_affine c ws acc ax ay
         | None -> () (* entry is the point at infinity; adding it is a no-op *)
-    done;
-    !acc
+    done
   end
 
 let scalar_mult_base c k =
   Obs.Kernel.(bump ec_scalar_mult_base);
-  of_jac c (jac_scalar_mult_base c k)
+  let ws = make_ws c in
+  let acc = jpt_make ws.o in
+  jac_scalar_mult_base_ws c ws k acc;
+  point_of_jpt ws acc
 
 let scalar_mult_base_add c u1 u2 q =
-  of_jac c (jac_add c (jac_scalar_mult_base c u1) (jac_scalar_mult c u2 (to_jac c q)))
+  let ws = make_ws c in
+  let acc = jpt_make ws.o in
+  jac_scalar_mult_base_ws c ws u1 acc;
+  let qj = jpt_make ws.o in
+  jpt_of_point ws qj q;
+  let acc2 = jpt_make ws.o in
+  jac_scalar_mult_ws c ws u2 qj acc2;
+  jpt_add c ws acc acc2;
+  point_of_jpt ws acc
 
 (* --- Curve construction --------------------------------------------------- *)
 
@@ -286,7 +637,14 @@ let build_comb c =
           let f = c.fctx in
           let zinv = F.inv f jp.z in
           let zinv2 = F.sqr f zinv in
-          Some (F.mul f jp.x zinv2, F.mul f jp.y (F.mul f zinv2 zinv))
+          let ax = F.mul f jp.x zinv2 in
+          let ay = F.mul f jp.y (F.mul f zinv2 zinv) in
+          (* Store in the curve's ladder backend representation. *)
+          if c.use_p256 then
+            Some
+              ( P256_field.of_bignum (F.to_bignum f ax),
+                P256_field.of_bignum (F.to_bignum f ay) )
+          else Some (ax, ay)
         end)
       tbl
   in
@@ -302,6 +660,7 @@ let make_curve ~name ~p ~a ~b ~gx ~gy ~n ~h =
       a = a_fe;
       b = F.of_bignum fctx b;
       a_is_minus3 = Bignum.equal a (Bignum.sub_int p 3);
+      use_p256 = Bignum.equal p P256_field.modulus;
       gx;
       gy;
       n;

@@ -6,10 +6,15 @@ let xor_pad key pad =
       let k = if i < String.length key then Char.code key.[i] else 0 in
       Char.chr (k lxor pad))
 
-let sha256 ~key msg =
+(* HMAC over the concatenation of [parts] without materializing it; the
+   record layer MACs (sequence || header) and ciphertext as two parts
+   instead of copying the whole ciphertext into a fresh string. *)
+let sha256_parts ~key parts =
   let key = if String.length key > Sha256.block_size then Sha256.digest key else key in
-  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  let inner = Sha256.digest_list (xor_pad key 0x36 :: parts) in
   Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let sha256 ~key msg = sha256_parts ~key [ msg ]
 
 (* Constant-time comparison: MAC checks must not leak a prefix-length
    timing signal. *)

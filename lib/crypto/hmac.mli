@@ -3,6 +3,10 @@
 val sha256 : key:string -> string -> string
 (** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag. *)
 
+val sha256_parts : key:string -> string list -> string
+(** [sha256_parts ~key parts] is [sha256 ~key (String.concat "" parts)]
+    without materializing the concatenation. *)
+
 val equal_ct : string -> string -> bool
 (** Constant-time equality for MAC tags. *)
 

@@ -1,0 +1,783 @@
+(* Specialized arithmetic for the NIST P-256 prime field.
+
+   p = 2^256 - 2^224 + 2^192 + 2^96 - 1
+
+   Elements are little-endian arrays of nine 29-bit limbs (9 * 29 = 261
+   bits), always kept canonical in [0, p). The layout is chosen for
+   OCaml's 63-bit native ints: a product-scanning multiply accumulates at
+   most nine 58-bit limb products plus an incoming carry per column, and
+   9 * (2^29 - 1)^2 + 2^33 < 2^62 never overflows. Reduction uses the
+   Solinas congruences for the NIST prime (FIPS 186-4 D.2.3) on the
+   sixteen 32-bit words of the double-wide product, so a full modular
+   multiply is 81 native multiplies plus word shuffling -- no division,
+   no Montgomery form, no allocation.
+
+   Mutating operations take an explicit destination array; [mul], [sqr]
+   and [inv] additionally take a [state] scratch record so that hot loops
+   (the EC Jacobian ladder) allocate nothing per operation. A [state] is
+   cheap to create and must not be shared across domains. *)
+
+let nlimbs = 9
+let limb_bits = 29
+let limb_mask = (1 lsl limb_bits) - 1
+let words = nlimbs
+
+let modulus =
+  Bignum.of_hex
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+
+let zero () = Array.make nlimbs 0
+
+(* 32-byte big-endian string -> limbs. *)
+let of_bytes_be (s : string) : int array =
+  if String.length s <> 32 then invalid_arg "P256_field.of_bytes_be";
+  let out = Array.make nlimbs 0 in
+  for i = 0 to 31 do
+    let byte = Char.code (String.unsafe_get s (31 - i)) in
+    let bit = 8 * i in
+    let li = bit / limb_bits and off = bit mod limb_bits in
+    out.(li) <- out.(li) lor ((byte lsl off) land limb_mask);
+    if off > limb_bits - 8 && li + 1 < nlimbs then
+      out.(li + 1) <- out.(li + 1) lor (byte lsr (limb_bits - off))
+  done;
+  out
+
+let to_bytes_be (a : int array) : string =
+  let b = Bytes.make 32 '\x00' in
+  for i = 0 to 31 do
+    let bit = 8 * i in
+    let li = bit / limb_bits and off = bit mod limb_bits in
+    let v = a.(li) lsr off in
+    let v =
+      if off > limb_bits - 8 && li + 1 < nlimbs then
+        v lor (a.(li + 1) lsl (limb_bits - off))
+      else v
+    in
+    Bytes.unsafe_set b (31 - i) (Char.unsafe_chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+(* p in the limb representation, for add/sub adjustments. *)
+let p_limbs = of_bytes_be (Bignum.to_bytes_be ~len:32 modulus)
+
+let of_bignum (x : Bignum.t) : int array =
+  let x = if Bignum.compare x modulus >= 0 then Bignum.rem x modulus else x in
+  of_bytes_be (Bignum.to_bytes_be ~len:32 x)
+
+let to_bignum (a : int array) : Bignum.t = Bignum.of_bytes_be (to_bytes_be a)
+
+let copy dst src = Array.blit src 0 dst 0 nlimbs
+
+let set_one dst =
+  Array.fill dst 0 nlimbs 0;
+  dst.(0) <- 1
+
+let is_zero a =
+  let acc = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    acc := !acc lor a.(i)
+  done;
+  !acc = 0
+
+let equal a b =
+  let acc = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    acc := !acc lor (a.(i) lxor b.(i))
+  done;
+  !acc = 0
+
+let ge_p (a : int array) =
+  let rec go i =
+    if i < 0 then true
+    else if a.(i) <> p_limbs.(i) then a.(i) > p_limbs.(i)
+    else go (i - 1)
+  in
+  go (nlimbs - 1)
+
+(* dst <- dst - p, assuming dst >= p. *)
+let sub_p_inplace dst =
+  let borrow = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v = dst.(i) - p_limbs.(i) - !borrow in
+    dst.(i) <- v land limb_mask;
+    borrow := (v lsr limb_bits) land 1
+  done
+
+let add dst a b =
+  let carry = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v = Array.unsafe_get a i + Array.unsafe_get b i + !carry in
+    Array.unsafe_set dst i (v land limb_mask);
+    carry := v lsr limb_bits
+  done;
+  if ge_p dst then sub_p_inplace dst
+
+let sub dst a b =
+  let borrow = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+    Array.unsafe_set dst i (v land limb_mask);
+    borrow := (v lsr limb_bits) land 1
+  done;
+  if !borrow <> 0 then begin
+    let carry = ref 0 in
+    for i = 0 to nlimbs - 1 do
+      let v = Array.unsafe_get dst i + Array.unsafe_get p_limbs i + !carry in
+      Array.unsafe_set dst i (v land limb_mask);
+      carry := v lsr limb_bits
+    done
+  end
+
+let neg dst a =
+  if is_zero a then Array.fill dst 0 nlimbs 0
+  else begin
+    let borrow = ref 0 in
+    for i = 0 to nlimbs - 1 do
+      let v = p_limbs.(i) - a.(i) - !borrow in
+      dst.(i) <- v land limb_mask;
+      borrow := (v lsr limb_bits) land 1
+    done
+  end
+
+(* 2p in limb form, for the two-subtrahend sweep below. *)
+let twop_limbs =
+  let t = Array.make nlimbs 0 in
+  let cr = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v = (p_limbs.(i) lsl 1) + !cr in
+    t.(i) <- v land limb_mask;
+    cr := v lsr limb_bits
+  done;
+  t
+
+(* [add_sub dst_a dst_s a b] is dst_a <- a + b and dst_s <- a - b in a
+   single pass over the operands; the point doubling wants both around
+   the same (x, delta) pair. *)
+let add_sub dst_a dst_s a b =
+  let carry = ref 0 and borrow = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let ai = Array.unsafe_get a i and bi = Array.unsafe_get b i in
+    let v = ai + bi + !carry in
+    Array.unsafe_set dst_a i (v land limb_mask);
+    carry := v lsr limb_bits;
+    let w = ai - bi - !borrow in
+    Array.unsafe_set dst_s i (w land limb_mask);
+    borrow := (w lsr limb_bits) land 1
+  done;
+  if ge_p dst_a then sub_p_inplace dst_a;
+  if !borrow <> 0 then begin
+    let cr = ref 0 in
+    for i = 0 to nlimbs - 1 do
+      let v = Array.unsafe_get dst_s i + Array.unsafe_get p_limbs i + !cr in
+      Array.unsafe_set dst_s i (v land limb_mask);
+      cr := v lsr limb_bits
+    done
+  end
+
+(* [sub2 dst a b c] is dst <- a - b - c in one sweep: a + 2p - b - c lies
+   in (0, 3p), so a signed carry pass plus at most two conditional
+   subtractions canonicalizes. Replaces back-to-back [sub]s in the point
+   formulas. *)
+let sub2 dst a b c =
+  let cr = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v =
+      Array.unsafe_get a i + Array.unsafe_get twop_limbs i
+      - Array.unsafe_get b i - Array.unsafe_get c i + !cr
+    in
+    Array.unsafe_set dst i (v land limb_mask);
+    cr := v asr limb_bits
+  done;
+  if ge_p dst then sub_p_inplace dst;
+  if ge_p dst then sub_p_inplace dst
+
+(* Fold the bits of [dst] at and above 2^256 back into the low words via
+   the Solinas identity 2^256 = 2^224 - 2^192 - 2^96 + 1 (mod p). Limb 8
+   spans bits [232, 261), so the excess is its top 5 bits; the three
+   identity terms land at limb offsets 7<<21, 6<<18 and 3<<9. A signed
+   carry sweep ([asr] keeps the sign of deficits) restores 29-bit limbs. *)
+let fold_once dst =
+  let c = dst.(8) lsr 24 in
+  if c <> 0 then begin
+    dst.(8) <- dst.(8) land 0xffffff;
+    dst.(0) <- dst.(0) + c;
+    dst.(3) <- dst.(3) - (c lsl 9);
+    dst.(6) <- dst.(6) - (c lsl 18);
+    dst.(7) <- dst.(7) + (c lsl 21);
+    let cr = ref 0 in
+    for i = 0 to nlimbs - 1 do
+      let v = dst.(i) + !cr in
+      dst.(i) <- v land limb_mask;
+      cr := v asr limb_bits
+    done
+  end
+
+(* dst <- a * k for a small constant 0 <= k <= 8 (point formulas use 2, 3,
+   4 and 8). Scaled value < 8p < 2^259; one fold brings it below
+   2^256 + 2^227, a second below 2^256, and a single conditional
+   subtraction restores canonical form — flat cost, no subtraction loop. *)
+let mul_small dst a k =
+  if k < 0 || k > 8 then invalid_arg "P256_field.mul_small";
+  let carry = ref 0 in
+  for i = 0 to nlimbs - 1 do
+    let v = (a.(i) * k) + !carry in
+    dst.(i) <- v land limb_mask;
+    carry := v lsr limb_bits
+  done;
+  fold_once dst;
+  fold_once dst;
+  if ge_p dst then sub_p_inplace dst
+
+type state = {
+  inv_tmp : int array array; (* 9 chain registers for the inversion *)
+  pt_tmp : int array array; (* 7 temporaries for the fused point formulas *)
+}
+
+let create_state () =
+  {
+    inv_tmp = Array.init 9 (fun _ -> Array.make nlimbs 0);
+    pt_tmp = Array.init 7 (fun _ -> Array.make nlimbs 0);
+  }
+
+(* p as 32-bit little-endian words, the shape the reduction's word phase
+   works in. *)
+let p_words32 = [| 0xffffffff; 0xffffffff; 0xffffffff; 0; 0; 0; 1; 0xffffffff |]
+
+(* Cold finish for the mul/sqr reduction: called when the first fold
+   round left a residual carry, or when the top word says the value may
+   be at or above p. Hit with probability ~2^-28 per operation, so this
+   favors clarity; the loops mirror the unrolled rounds exactly.
+   Termination: each fold round shrinks the carry as argued in the
+   kernel comment below, so the while loop runs at most twice. *)
+let reduce_words_slow dst u0 u1 u2 u3 u4 u5 u6 u7 c0 =
+  let u = [| u0; u1; u2; u3; u4; u5; u6; u7 |] in
+  let c = ref c0 in
+  while !c <> 0 do
+    (* c * 2^256 === c * (2^224 - 2^192 - 2^96 + 1) (mod p) *)
+    let f = !c in
+    u.(0) <- u.(0) + f;
+    u.(3) <- u.(3) - f;
+    u.(6) <- u.(6) - f;
+    u.(7) <- u.(7) + f;
+    let cr = ref 0 in
+    for i = 0 to 7 do
+      let s = u.(i) + !cr in
+      u.(i) <- s land 0xffffffff;
+      cr := s asr 32
+    done;
+    c := !cr
+  done;
+  let ge =
+    let rec go i =
+      if i < 0 then true
+      else if u.(i) <> p_words32.(i) then u.(i) > p_words32.(i)
+      else go (i - 1)
+    in
+    go 7
+  in
+  if ge then begin
+    let bw = ref 0 in
+    for i = 0 to 7 do
+      let s = u.(i) - p_words32.(i) - !bw in
+      u.(i) <- s land 0xffffffff;
+      bw := (s lsr 32) land 1
+    done
+  end;
+  for i = 0 to nlimbs - 1 do
+    let bit = limb_bits * i in
+    let w = bit lsr 5 and off = bit land 31 in
+    let lo = u.(w) lsr off in
+    let hi = if off > 3 && w < 7 then u.(w + 1) lsl (32 - off) else 0 in
+    dst.(i) <- (lo lor hi) land limb_mask
+  done
+
+(* Cold wrapper for the split sweep: re-ripple the low chain's carry
+   through the high words exactly, then hand off to
+   [reduce_words_slow]. *)
+let reduce_cold dst u0 u1 u2 u3 u4 u5 u6 u7 cl ch =
+  let s = u4 + cl in
+  let u4 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = u5 + c in
+  let u5 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = u6 + c in
+  let u6 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = u7 + c in
+  let u7 = s land 0xffffffff in
+  let c = s asr 32 in
+  reduce_words_slow dst u0 u1 u2 u3 u4 u5 u6 u7 (ch + c)
+
+(* Dedicated multiply/square kernels: fully unrolled product scanning
+   over the nine 29-bit limbs (81 native multiplies for [mul], 45 for
+   [sqr]) feeding a fully register-resident Solinas reduction -- no
+   intermediate product array, no data-dependent loops, every shift a
+   constant. Column invariant: at most nine 58-bit limb products plus a
+   sub-2^33 carry per column stays under OCaml's 62-bit native-int
+   payload.
+
+   Reduction termination: the initial propagation leaves a fold carry
+   |c| <= 7. One fused fold-and-propagate round brings the carry into
+   {-1, 0, 1}; with |c| = 1 the folded value differs from a canonical
+   8-word value by at most 2^224-ish, so one further round can overflow
+   or underflow by at most 1, and the round after that lands in
+   [0, 2^256) with carry 0. Three rounds therefore always suffice. *)
+
+let mul _st dst a b =
+  let a0 = Array.unsafe_get a 0 in
+  let a1 = Array.unsafe_get a 1 in
+  let a2 = Array.unsafe_get a 2 in
+  let a3 = Array.unsafe_get a 3 in
+  let a4 = Array.unsafe_get a 4 in
+  let a5 = Array.unsafe_get a 5 in
+  let a6 = Array.unsafe_get a 6 in
+  let a7 = Array.unsafe_get a 7 in
+  let a8 = Array.unsafe_get a 8 in
+  let b0 = Array.unsafe_get b 0 in
+  let b1 = Array.unsafe_get b 1 in
+  let b2 = Array.unsafe_get b 2 in
+  let b3 = Array.unsafe_get b 3 in
+  let b4 = Array.unsafe_get b 4 in
+  let b5 = Array.unsafe_get b 5 in
+  let b6 = Array.unsafe_get b 6 in
+  let b7 = Array.unsafe_get b 7 in
+  let b8 = Array.unsafe_get b 8 in
+  let s = (a0 * b0) in
+  let d0 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b1) + (a1 * b0) + c in
+  let d1 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b2) + (a1 * b1) + (a2 * b0) + c in
+  let d2 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b3) + (a1 * b2) + (a2 * b1) + (a3 * b0) + c in
+  let d3 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b4) + (a1 * b3) + (a2 * b2) + (a3 * b1) + (a4 * b0) + c in
+  let d4 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b5) + (a1 * b4) + (a2 * b3) + (a3 * b2) + (a4 * b1) + (a5 * b0) + c in
+  let d5 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b6) + (a1 * b5) + (a2 * b4) + (a3 * b3) + (a4 * b2) + (a5 * b1) + (a6 * b0) + c in
+  let d6 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b7) + (a1 * b6) + (a2 * b5) + (a3 * b4) + (a4 * b3) + (a5 * b2) + (a6 * b1) + (a7 * b0) + c in
+  let d7 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a0 * b8) + (a1 * b7) + (a2 * b6) + (a3 * b5) + (a4 * b4) + (a5 * b3) + (a6 * b2) + (a7 * b1) + (a8 * b0) + c in
+  let d8 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a1 * b8) + (a2 * b7) + (a3 * b6) + (a4 * b5) + (a5 * b4) + (a6 * b3) + (a7 * b2) + (a8 * b1) + c in
+  let d9 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a2 * b8) + (a3 * b7) + (a4 * b6) + (a5 * b5) + (a6 * b4) + (a7 * b3) + (a8 * b2) + c in
+  let d10 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a3 * b8) + (a4 * b7) + (a5 * b6) + (a6 * b5) + (a7 * b4) + (a8 * b3) + c in
+  let d11 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a4 * b8) + (a5 * b7) + (a6 * b6) + (a7 * b5) + (a8 * b4) + c in
+  let d12 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a5 * b8) + (a6 * b7) + (a7 * b6) + (a8 * b5) + c in
+  let d13 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a6 * b8) + (a7 * b7) + (a8 * b6) + c in
+  let d14 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a7 * b8) + (a8 * b7) + c in
+  let d15 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a8 * b8) + c in
+  let d16 = s land limb_mask in
+  let d17 = s lsr limb_bits in
+  (* Regroup the 29-bit product limbs into 32-bit words a0..a15. *)
+  let q0 = (d0 lor (d1 lsl 29)) land 0xffffffff in
+  let q1 = ((d1 lsr 3) lor (d2 lsl 26)) land 0xffffffff in
+  let q2 = ((d2 lsr 6) lor (d3 lsl 23)) land 0xffffffff in
+  let q3 = ((d3 lsr 9) lor (d4 lsl 20)) land 0xffffffff in
+  let q4 = ((d4 lsr 12) lor (d5 lsl 17)) land 0xffffffff in
+  let q5 = ((d5 lsr 15) lor (d6 lsl 14)) land 0xffffffff in
+  let q6 = ((d6 lsr 18) lor (d7 lsl 11)) land 0xffffffff in
+  let q7 = ((d7 lsr 21) lor (d8 lsl 8)) land 0xffffffff in
+  let q8 = ((d8 lsr 24) lor (d9 lsl 5)) land 0xffffffff in
+  let q9 = ((d9 lsr 27) lor (d10 lsl 2) lor (d11 lsl 31)) land 0xffffffff in
+  let q10 = ((d11 lsr 1) lor (d12 lsl 28)) land 0xffffffff in
+  let q11 = ((d12 lsr 4) lor (d13 lsl 25)) land 0xffffffff in
+  let q12 = ((d13 lsr 7) lor (d14 lsl 22)) land 0xffffffff in
+  let q13 = ((d14 lsr 10) lor (d15 lsl 19)) land 0xffffffff in
+  let q14 = ((d15 lsr 13) lor (d16 lsl 16)) land 0xffffffff in
+  let q15 = ((d16 lsr 16) lor (d17 lsl 13)) land 0xffffffff in
+  (* Signed Solinas column sums (FIPS 186-4 D.2.3). *)
+  let t0 = q0 + q8 + q9 - q11 - q12 - q13 - q14 in
+  let t1 = q1 + q9 + q10 - q12 - q13 - q14 - q15 in
+  let t2 = q2 + q10 + q11 - q13 - q14 - q15 in
+  let t3 = q3 + (2 * (q11 + q12)) + q13 - q15 - q8 - q9 in
+  let t4 = q4 + (2 * (q12 + q13)) + q14 - q9 - q10 in
+  let t5 = q5 + (2 * (q13 + q14)) + q15 - q10 - q11 in
+  let t6 = q6 + q13 + (3 * q14) + (2 * q15) - q8 - q9 in
+  let t7 = q7 + q8 + (3 * q15) - q10 - q11 - q12 - q13 in
+  (* Initial signed carry propagation in base 2^32, split into two
+     independent four-word chains so they retire in parallel. The low
+     chain's carry [cl] joins at word 4 below; it almost never ripples
+     further, and the fast-path range check catches the case where it
+     would. *)
+  let s = t0 in
+  let u0 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t1 + c in
+  let u1 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t2 + c in
+  let u2 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t3 + c in
+  let u3 = s land 0xffffffff in
+  let cl = s asr 32 in
+  let s = t4 in
+  let u4 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t5 + c in
+  let u5 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t6 + c in
+  let u6 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t7 + c in
+  let u7 = s land 0xffffffff in
+  let c = s asr 32 in
+  (* Fold the residual carry c * 2^256 === c * (2^224 - 2^192 - 2^96 + 1)
+     (mod p) directly into the four affected words. |c| <= 7, so an
+     adjusted word leaves [0, 2^32) with probability ~2^-29 per word; the
+     fast path checks all four at once (a negative word or one >= 2^32
+     both light up bits above 31) plus the below-p witness
+     (v7 < 2^32 - 1), and everything else takes the cold out-of-line
+     [reduce_words_slow], which loops the fold until the carry settles.
+     No second full propagation sweep: the hot path's carry chain ends
+     here. 32-bit words -> 29-bit limbs, all shifts constant. *)
+  let v0 = u0 + c in
+  let v3 = u3 - c in
+  let v4 = u4 + cl in
+  let v6 = u6 - c in
+  let v7 = u7 + c in
+  if (v0 lor v3 lor v4 lor v6 lor v7) lsr 32 = 0 && v7 <> 0xffffffff then begin
+    Array.unsafe_set dst 0 (v0 land limb_mask);
+    Array.unsafe_set dst 1 (((v0 lsr 29) lor (u1 lsl 3)) land limb_mask);
+    Array.unsafe_set dst 2 (((u1 lsr 26) lor (u2 lsl 6)) land limb_mask);
+    Array.unsafe_set dst 3 (((u2 lsr 23) lor (v3 lsl 9)) land limb_mask);
+    Array.unsafe_set dst 4 (((v3 lsr 20) lor (v4 lsl 12)) land limb_mask);
+    Array.unsafe_set dst 5 (((v4 lsr 17) lor (u5 lsl 15)) land limb_mask);
+    Array.unsafe_set dst 6 (((u5 lsr 14) lor (v6 lsl 18)) land limb_mask);
+    Array.unsafe_set dst 7 (((v6 lsr 11) lor (v7 lsl 21)) land limb_mask);
+    Array.unsafe_set dst 8 ((v7 lsr 8) land limb_mask)
+  end
+  else reduce_cold dst u0 u1 u2 u3 u4 u5 u6 u7 cl c
+
+let sqr _st dst a =
+  let a0 = Array.unsafe_get a 0 in
+  let a1 = Array.unsafe_get a 1 in
+  let a2 = Array.unsafe_get a 2 in
+  let a3 = Array.unsafe_get a 3 in
+  let a4 = Array.unsafe_get a 4 in
+  let a5 = Array.unsafe_get a 5 in
+  let a6 = Array.unsafe_get a 6 in
+  let a7 = Array.unsafe_get a 7 in
+  let a8 = Array.unsafe_get a 8 in
+  let s = (a0 * a0) in
+  let d0 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a1)) lsl 1) + c in
+  let d1 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a2)) lsl 1) + (a1 * a1) + c in
+  let d2 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a3) + (a1 * a2)) lsl 1) + c in
+  let d3 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a4) + (a1 * a3)) lsl 1) + (a2 * a2) + c in
+  let d4 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a5) + (a1 * a4) + (a2 * a3)) lsl 1) + c in
+  let d5 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a6) + (a1 * a5) + (a2 * a4)) lsl 1) + (a3 * a3) + c in
+  let d6 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a7) + (a1 * a6) + (a2 * a5) + (a3 * a4)) lsl 1) + c in
+  let d7 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a0 * a8) + (a1 * a7) + (a2 * a6) + (a3 * a5)) lsl 1) + (a4 * a4) + c in
+  let d8 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a1 * a8) + (a2 * a7) + (a3 * a6) + (a4 * a5)) lsl 1) + c in
+  let d9 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a2 * a8) + (a3 * a7) + (a4 * a6)) lsl 1) + (a5 * a5) + c in
+  let d10 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a3 * a8) + (a4 * a7) + (a5 * a6)) lsl 1) + c in
+  let d11 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a4 * a8) + (a5 * a7)) lsl 1) + (a6 * a6) + c in
+  let d12 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a5 * a8) + (a6 * a7)) lsl 1) + c in
+  let d13 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a6 * a8)) lsl 1) + (a7 * a7) + c in
+  let d14 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (((a7 * a8)) lsl 1) + c in
+  let d15 = s land limb_mask in
+  let c = s lsr limb_bits in
+  let s = (a8 * a8) + c in
+  let d16 = s land limb_mask in
+  let d17 = s lsr limb_bits in
+  (* Regroup the 29-bit product limbs into 32-bit words a0..a15. *)
+  let q0 = (d0 lor (d1 lsl 29)) land 0xffffffff in
+  let q1 = ((d1 lsr 3) lor (d2 lsl 26)) land 0xffffffff in
+  let q2 = ((d2 lsr 6) lor (d3 lsl 23)) land 0xffffffff in
+  let q3 = ((d3 lsr 9) lor (d4 lsl 20)) land 0xffffffff in
+  let q4 = ((d4 lsr 12) lor (d5 lsl 17)) land 0xffffffff in
+  let q5 = ((d5 lsr 15) lor (d6 lsl 14)) land 0xffffffff in
+  let q6 = ((d6 lsr 18) lor (d7 lsl 11)) land 0xffffffff in
+  let q7 = ((d7 lsr 21) lor (d8 lsl 8)) land 0xffffffff in
+  let q8 = ((d8 lsr 24) lor (d9 lsl 5)) land 0xffffffff in
+  let q9 = ((d9 lsr 27) lor (d10 lsl 2) lor (d11 lsl 31)) land 0xffffffff in
+  let q10 = ((d11 lsr 1) lor (d12 lsl 28)) land 0xffffffff in
+  let q11 = ((d12 lsr 4) lor (d13 lsl 25)) land 0xffffffff in
+  let q12 = ((d13 lsr 7) lor (d14 lsl 22)) land 0xffffffff in
+  let q13 = ((d14 lsr 10) lor (d15 lsl 19)) land 0xffffffff in
+  let q14 = ((d15 lsr 13) lor (d16 lsl 16)) land 0xffffffff in
+  let q15 = ((d16 lsr 16) lor (d17 lsl 13)) land 0xffffffff in
+  (* Signed Solinas column sums (FIPS 186-4 D.2.3). *)
+  let t0 = q0 + q8 + q9 - q11 - q12 - q13 - q14 in
+  let t1 = q1 + q9 + q10 - q12 - q13 - q14 - q15 in
+  let t2 = q2 + q10 + q11 - q13 - q14 - q15 in
+  let t3 = q3 + (2 * (q11 + q12)) + q13 - q15 - q8 - q9 in
+  let t4 = q4 + (2 * (q12 + q13)) + q14 - q9 - q10 in
+  let t5 = q5 + (2 * (q13 + q14)) + q15 - q10 - q11 in
+  let t6 = q6 + q13 + (3 * q14) + (2 * q15) - q8 - q9 in
+  let t7 = q7 + q8 + (3 * q15) - q10 - q11 - q12 - q13 in
+  (* Initial signed carry propagation in base 2^32, split into two
+     independent four-word chains so they retire in parallel. The low
+     chain's carry [cl] joins at word 4 below; it almost never ripples
+     further, and the fast-path range check catches the case where it
+     would. *)
+  let s = t0 in
+  let u0 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t1 + c in
+  let u1 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t2 + c in
+  let u2 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t3 + c in
+  let u3 = s land 0xffffffff in
+  let cl = s asr 32 in
+  let s = t4 in
+  let u4 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t5 + c in
+  let u5 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t6 + c in
+  let u6 = s land 0xffffffff in
+  let c = s asr 32 in
+  let s = t7 + c in
+  let u7 = s land 0xffffffff in
+  let c = s asr 32 in
+  (* Fold the residual carry c * 2^256 === c * (2^224 - 2^192 - 2^96 + 1)
+     (mod p) directly into the four affected words. |c| <= 7, so an
+     adjusted word leaves [0, 2^32) with probability ~2^-29 per word; the
+     fast path checks all four at once (a negative word or one >= 2^32
+     both light up bits above 31) plus the below-p witness
+     (v7 < 2^32 - 1), and everything else takes the cold out-of-line
+     [reduce_words_slow], which loops the fold until the carry settles.
+     No second full propagation sweep: the hot path's carry chain ends
+     here. 32-bit words -> 29-bit limbs, all shifts constant. *)
+  let v0 = u0 + c in
+  let v3 = u3 - c in
+  let v4 = u4 + cl in
+  let v6 = u6 - c in
+  let v7 = u7 + c in
+  if (v0 lor v3 lor v4 lor v6 lor v7) lsr 32 = 0 && v7 <> 0xffffffff then begin
+    Array.unsafe_set dst 0 (v0 land limb_mask);
+    Array.unsafe_set dst 1 (((v0 lsr 29) lor (u1 lsl 3)) land limb_mask);
+    Array.unsafe_set dst 2 (((u1 lsr 26) lor (u2 lsl 6)) land limb_mask);
+    Array.unsafe_set dst 3 (((u2 lsr 23) lor (v3 lsl 9)) land limb_mask);
+    Array.unsafe_set dst 4 (((v3 lsr 20) lor (v4 lsl 12)) land limb_mask);
+    Array.unsafe_set dst 5 (((v4 lsr 17) lor (u5 lsl 15)) land limb_mask);
+    Array.unsafe_set dst 6 (((u5 lsr 14) lor (v6 lsl 18)) land limb_mask);
+    Array.unsafe_set dst 7 (((v6 lsr 11) lor (v7 lsl 21)) land limb_mask);
+    Array.unsafe_set dst 8 ((v7 lsr 8) land limb_mask)
+  end
+  else reduce_cold dst u0 u1 u2 u3 u4 u5 u6 u7 cl c
+
+(* Fermat inversion via a fixed addition chain for p - 2. With the
+   repeated-pattern decomposition of p - 2 =
+   ffffffff00000001_0000000000000000_00000000ffffffff_fffffffffffffffd
+   the chain costs ~268 squarings + 14 multiplies, an order of magnitude
+   cheaper than a generic sliding-window exponentiation. *)
+let inv st dst a =
+  if is_zero a then invalid_arg "P256_field.inv: zero";
+  let t = st.inv_tmp in
+  let x1 = t.(0) in
+  copy x1 a;
+  (* [dst] may alias [a]; working from a private copy keeps the chain
+     registers consistent either way. *)
+  let x2 = t.(1)
+  and x4 = t.(2)
+  and x8 = t.(3)
+  and x16 = t.(4)
+  and x32 = t.(5)
+  and x24 = t.(6)
+  and x28 = t.(7)
+  and x30 = t.(8) in
+  let acc = dst in
+  let sqr_n x n =
+    for _ = 1 to n do
+      sqr st x x
+    done
+  in
+  (* x{k} holds a^(2^k - 1). *)
+  sqr st x2 x1;
+  mul st x2 x2 x1;
+  copy x4 x2;
+  sqr_n x4 2;
+  mul st x4 x4 x2;
+  copy x8 x4;
+  sqr_n x8 4;
+  mul st x8 x8 x4;
+  copy x16 x8;
+  sqr_n x16 8;
+  mul st x16 x16 x8;
+  copy x32 x16;
+  sqr_n x32 16;
+  mul st x32 x32 x16;
+  copy x24 x16;
+  sqr_n x24 8;
+  mul st x24 x24 x8;
+  copy x28 x24;
+  sqr_n x28 4;
+  mul st x28 x28 x4;
+  copy x30 x28;
+  sqr_n x30 2;
+  mul st x30 x30 x2;
+  (* Assemble the exponent left to right: ffffffff || 00000001 ||
+     0^96 || ffffffff * 2 || fffffffd-tail. *)
+  copy acc x32;
+  sqr_n acc 32;
+  mul st acc acc x1;
+  sqr_n acc 96;
+  sqr_n acc 32;
+  mul st acc acc x32;
+  sqr_n acc 32;
+  mul st acc acc x32;
+  sqr_n acc 30;
+  mul st acc acc x30;
+  sqr_n acc 2;
+  mul st acc acc x1
+
+(* --- Fused Jacobian point formulas ----------------------------------------
+
+   The EC ladder's hot loop spends its life in these two routines, so the
+   P-256 backend provides them whole: one direct call per point
+   operation instead of a dozen dispatched field-op calls, with the
+   workspace temporaries held in [state]. The formulas mirror the
+   backend-generic ones in [Ec] exactly (dbl-2001-b for a = -3,
+   add-1986-cc), so either path computes identical points. *)
+
+(* (x, y, z) <- 2 * (x, y, z), in place, assuming curve a = -3 and
+   y <> 0 (the caller handles infinity and the 2-torsion case):
+     delta = z^2, gamma = y^2, beta = x * gamma,
+     alpha = 3 (x - delta)(x + delta),
+     x' = alpha^2 - 8 beta, z' = (y + z)^2 - gamma - delta,
+     y' = alpha (4 beta - x') - 8 gamma^2. *)
+let point_dbl st x y z =
+  let t = st.pt_tmp in
+  let t1 = t.(0) and t2 = t.(1) and t3 = t.(2) and t4 = t.(3) and t5 = t.(4) in
+  sqr st t1 z (* delta *);
+  sqr st t2 y (* gamma *);
+  mul st t3 x t2 (* beta *);
+  add_sub t5 t4 x t1 (* t5 = x + delta, t4 = x - delta *);
+  mul st t4 t4 t5;
+  mul_small t4 t4 3 (* alpha *);
+  add t5 y z;
+  sqr st t5 t5;
+  sub2 z t5 t2 t1 (* z' = (y+z)^2 - gamma - delta; y, z consumed *);
+  sqr st t1 t4 (* alpha^2 *);
+  mul_small t3 t3 4 (* 4 beta; plain beta is dead *);
+  sub2 x t1 t3 t3 (* x' = alpha^2 - 8 beta *);
+  sub t3 t3 x (* 4 beta - x' *);
+  mul st t3 t4 t3;
+  sqr st t1 t2;
+  mul_small t1 t1 8 (* 8 gamma^2 *);
+  sub y t3 t1 (* y' *)
+
+(* (px, py, pz) <- (px, py, pz) + (qx, qy, qz), in place; q is only
+   read. Returns 0 on success, 1 when the points are equal (caller
+   doubles), 2 when they are opposite (caller sets infinity). *)
+let point_add st px py pz qx qy qz =
+  let t = st.pt_tmp in
+  let t1 = t.(0) and t2 = t.(1) and t3 = t.(2) and t4 = t.(3) in
+  let t5 = t.(4) and t6 = t.(5) and t7 = t.(6) in
+  sqr st t1 pz (* z1^2 *);
+  sqr st t2 qz (* z2^2 *);
+  mul st t3 px t2 (* u1 *);
+  mul st t4 qx t1 (* u2 *);
+  mul st t5 t2 qz;
+  mul st t5 py t5 (* s1 = y1 z2^3 *);
+  mul st t6 t1 pz;
+  mul st t6 qy t6 (* s2 = y2 z1^3 *);
+  if equal t3 t4 then begin if equal t5 t6 then 1 else 2 end
+  else begin
+    sub t4 t4 t3 (* h = u2 - u1 *);
+    sub t6 t6 t5 (* r = s2 - s1 *);
+    mul st t7 pz qz;
+    mul st pz t7 t4 (* z3 = h z1 z2 *);
+    sqr st t1 t4 (* h^2 *);
+    mul st t2 t1 t4 (* h^3 *);
+    mul st t7 t3 t1 (* u1 h^2 *);
+    sqr st t1 t6;
+    mul_small t4 t7 2;
+    sub2 px t1 t2 t4 (* x3 = r^2 - h^3 - 2 u1 h^2 *);
+    sub t1 t7 px;
+    mul st t3 t6 t1 (* r (u1 h^2 - x3) *);
+    mul st t1 t5 t2 (* s1 h^3 *);
+    sub py t3 t1;
+    0
+  end
+
+(* (px, py, pz) <- (px, py, pz) + (ax, ay) with the second operand
+   affine (Z = 1). Same return codes as [point_add]. *)
+let point_add_affine st px py pz ax ay =
+  let t = st.pt_tmp in
+  let t1 = t.(0) and t2 = t.(1) and t3 = t.(2) and t4 = t.(3) in
+  let t5 = t.(4) and t6 = t.(5) and t7 = t.(6) in
+  sqr st t1 pz (* z1^2 *);
+  mul st t2 ax t1 (* u2 *);
+  mul st t3 t1 pz;
+  mul st t3 ay t3 (* s2 = ay z1^3 *);
+  if equal px t2 then begin if equal py t3 then 1 else 2 end
+  else begin
+    sub t2 t2 px (* h *);
+    sub t3 t3 py (* r *);
+    mul st pz pz t2 (* z3 = z1 h *);
+    sqr st t4 t2 (* h^2 *);
+    mul st t5 t4 t2 (* h^3 *);
+    mul st t6 px t4 (* v = x1 h^2 *);
+    sqr st t4 t3;
+    mul_small t7 t6 2;
+    sub2 px t4 t5 t7 (* x3 = r^2 - h^3 - 2v *);
+    sub t4 t6 px;
+    mul st t6 t3 t4 (* r (v - x3) *);
+    mul st t4 py t5 (* y1 h^3 *);
+    sub py t6 t4;
+    0
+  end

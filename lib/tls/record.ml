@@ -23,11 +23,23 @@ let make ~content_type ?(version = Types.TLS_1_2) payload =
 let content_type r = r.r_content_type
 let payload r = r.r_payload
 
+let encoded_len r = header_len + String.length r.r_payload
+
+let to_bytes_into buf ~pos r =
+  let len = String.length r.r_payload in
+  if len > 0xffff then invalid_arg "Record.to_bytes_into: payload too long";
+  if pos < 0 || pos > Bytes.length buf - header_len - len then
+    invalid_arg "Record.to_bytes_into: range out of bounds";
+  Wire.Writer.set_u8 buf pos (Types.content_type_to_int r.r_content_type);
+  Wire.Writer.set_u16 buf (pos + 1) (Types.version_to_int r.r_version);
+  Wire.Writer.set_u16 buf (pos + 3) len;
+  Bytes.blit_string r.r_payload 0 buf (pos + header_len) len;
+  header_len + len
+
 let to_bytes r =
-  Wire.Writer.build (fun w ->
-      Wire.Writer.u8 w (Types.content_type_to_int r.r_content_type);
-      Wire.Writer.u16 w (Types.version_to_int r.r_version);
-      Wire.Writer.vec16 w r.r_payload)
+  let buf = Bytes.create (encoded_len r) in
+  ignore (to_bytes_into buf ~pos:0 r);
+  Bytes.unsafe_to_string buf
 
 let read r =
   let ct =
@@ -49,6 +61,19 @@ let read_all s =
   Wire.Reader.parse_result s (fun r ->
       let rec go acc = if Wire.Reader.is_empty r then List.rev acc else go (read r :: acc) in
       go [])
+
+(* Decode straight out of a reused receive buffer; zero-copy on the
+   framing side ({!Wire.Reader.of_bytes} aliases [buf]), with the payload
+   copied out so the result outlives the buffer's next refill. *)
+let of_bytes_sub buf ~pos ~len =
+  match
+    let r = Wire.Reader.of_bytes ~pos ~len buf in
+    let v = read r in
+    Wire.Reader.expect_end r;
+    v
+  with
+  | v -> Ok v
+  | exception Wire.Reader.Error msg -> Error msg
 
 (* --- Connection protection ---------------------------------------------------- *)
 
@@ -83,31 +108,48 @@ let derive_keys ~master ~client_random ~server_random =
     server_write = { mac_key = server_mac; enc_key = Crypto.Aes.of_key server_key; iv = server_iv };
   }
 
-type cipher_state = { keys : direction_keys; mutable seq : int }
+type cipher_state = {
+  keys : direction_keys;
+  mutable seq : int;
+  (* Scratch reused across records: the 8-byte CTR nonce and the 13-byte
+     MAC prefix (sequence number plus record header), refilled in place
+     for every record instead of rebuilt through Writer/concat. *)
+  nonce_buf : Bytes.t;
+  pre_buf : Bytes.t;
+}
 
-let cipher_state keys = { keys; seq = 0 }
+let cipher_state keys =
+  { keys; seq = 0; nonce_buf = Bytes.create iv_len; pre_buf = Bytes.create (8 + header_len) }
 
-let xor_strings a b = String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+(* Per-record nonce: write IV xor big-endian sequence number. *)
+let record_nonce st =
+  Wire.Writer.set_u64 st.nonce_buf 0 st.seq;
+  let iv = st.keys.iv in
+  for i = 0 to iv_len - 1 do
+    Bytes.unsafe_set st.nonce_buf i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get st.nonce_buf i) lxor Char.code (String.unsafe_get iv i)))
+  done;
+  Bytes.to_string st.nonce_buf
 
-let record_nonce st = xor_strings st.keys.iv (Wire.Writer.u64_string st.seq)
-
-let additional_data st header_bytes = Wire.Writer.u64_string st.seq ^ header_bytes
-
-let header_bytes ~content_type ~version ~length =
-  Wire.Writer.build (fun w ->
-      Wire.Writer.u8 w (Types.content_type_to_int content_type);
-      Wire.Writer.u16 w (Types.version_to_int version);
-      Wire.Writer.u16 w length)
+(* MAC prefix: sequence number (8) || type (1) || version (2) || length (2),
+   byte-identical to the seed's additional_data ^ header construction. *)
+let mac_prefix st ~content_type ~version ~length =
+  Wire.Writer.set_u64 st.pre_buf 0 st.seq;
+  Wire.Writer.set_u8 st.pre_buf 8 (Types.content_type_to_int content_type);
+  Wire.Writer.set_u16 st.pre_buf 9 (Types.version_to_int version);
+  Wire.Writer.set_u16 st.pre_buf 11 length;
+  Bytes.to_string st.pre_buf
 
 (* Encrypt a plaintext record; advances the sequence number. *)
 let seal st record =
   let nonce = record_nonce st in
   let ciphertext = Crypto.Block_mode.ctr_encrypt st.keys.enc_key ~nonce record.r_payload in
-  let hdr =
-    header_bytes ~content_type:record.r_content_type ~version:record.r_version
+  let pre =
+    mac_prefix st ~content_type:record.r_content_type ~version:record.r_version
       ~length:(String.length ciphertext)
   in
-  let mac = Crypto.Hmac.sha256 ~key:st.keys.mac_key (additional_data st hdr ^ ciphertext) in
+  let mac = Crypto.Hmac.sha256_parts ~key:st.keys.mac_key [ pre; ciphertext ] in
   st.seq <- st.seq + 1;
   { record with r_payload = ciphertext ^ mac }
 
@@ -118,11 +160,11 @@ let open_ st record =
   else begin
     let ciphertext = String.sub record.r_payload 0 (n - mac_len) in
     let mac = String.sub record.r_payload (n - mac_len) mac_len in
-    let hdr =
-      header_bytes ~content_type:record.r_content_type ~version:record.r_version
+    let pre =
+      mac_prefix st ~content_type:record.r_content_type ~version:record.r_version
         ~length:(String.length ciphertext)
     in
-    let expected = Crypto.Hmac.sha256 ~key:st.keys.mac_key (additional_data st hdr ^ ciphertext) in
+    let expected = Crypto.Hmac.sha256_parts ~key:st.keys.mac_key [ pre; ciphertext ] in
     if not (Crypto.Hmac.equal_ct expected mac) then Error Types.Bad_record_mac
     else begin
       let nonce = record_nonce st in

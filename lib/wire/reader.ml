@@ -14,6 +14,12 @@ let of_string ?(pos = 0) ?len data =
     raise (Error "Reader.of_string: bad bounds");
   { data; pos; limit }
 
+(* Zero-copy cursor over a caller-owned buffer. The reader aliases the
+   buffer's storage rather than copying it, so the caller must not mutate
+   [buf] while the reader (or any [sub] of it) is still in use; strings
+   returned by [take] are copies and stay valid. *)
+let of_bytes ?pos ?len buf = of_string ?pos ?len (Bytes.unsafe_to_string buf)
+
 let remaining t = t.limit - t.pos
 let is_empty t = remaining t = 0
 let position t = t.pos

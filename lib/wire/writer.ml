@@ -9,6 +9,10 @@ let length t = Buffer.length t
 
 let to_string t = Buffer.contents t
 
+(* Drop the contents but keep the underlying storage, so one writer can
+   frame many messages without reallocating. *)
+let clear t = Buffer.clear t
+
 let u8 t v =
   if v < 0 || v > 0xff then invalid_arg "Writer.u8: out of range";
   Buffer.add_char t (Char.chr v)
@@ -67,3 +71,34 @@ let u16_string v = build (fun t -> u16 t v)
 let u24_string v = build (fun t -> u24 t v)
 let u32_string v = build (fun t -> u32 t v)
 let u64_string v = build (fun t -> u64 t v)
+
+(* Direct big-endian stores into preallocated buffers: the reuse-oriented
+   counterparts of the streaming writers above. The record layer frames
+   headers, nonces and MAC prefixes into per-connection scratch with
+   these instead of building throwaway strings. Bounds are checked by
+   [Bytes.set]. *)
+
+let set_u8 b pos v =
+  if v < 0 || v > 0xff then invalid_arg "Writer.set_u8: out of range";
+  Bytes.set b pos (Char.chr v)
+
+let set_u16 b pos v =
+  if v < 0 || v > 0xffff then invalid_arg "Writer.set_u16: out of range";
+  Bytes.set b pos (Char.chr (v lsr 8));
+  Bytes.set b (pos + 1) (Char.chr (v land 0xff))
+
+let set_u24 b pos v =
+  if v < 0 || v > 0xffffff then invalid_arg "Writer.set_u24: out of range";
+  Bytes.set b pos (Char.chr (v lsr 16));
+  Bytes.set b (pos + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (pos + 2) (Char.chr (v land 0xff))
+
+let set_u32 b pos v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Writer.set_u32: out of range";
+  set_u16 b pos (v lsr 16);
+  set_u16 b (pos + 2) (v land 0xffff)
+
+let set_u64 b pos v =
+  if v < 0 then invalid_arg "Writer.set_u64: negative";
+  set_u32 b pos ((v lsr 32) land 0xffffffff);
+  set_u32 b (pos + 4) (v land 0xffffffff)

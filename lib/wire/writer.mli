@@ -7,6 +7,10 @@ val create : ?capacity:int -> unit -> t
 val length : t -> int
 val to_string : t -> string
 
+val clear : t -> unit
+(** Drop the contents but keep the underlying storage, so one writer can
+    frame many messages without reallocating. *)
+
 val u8 : t -> int -> unit
 val u16 : t -> int -> unit
 val u24 : t -> int -> unit
@@ -33,3 +37,18 @@ val u16_string : int -> string
 val u24_string : int -> string
 val u32_string : int -> string
 val u64_string : int -> string
+
+(** {2 Direct stores into preallocated buffers}
+
+    Big-endian counterparts of the streaming writers that encode at a
+    fixed offset of a caller-owned [Bytes.t], for hot paths that reuse
+    one scratch buffer across many messages. Range checks match the
+    streaming variants; offsets are checked by [Bytes.set]. *)
+
+val set_u8 : Bytes.t -> int -> int -> unit
+val set_u16 : Bytes.t -> int -> int -> unit
+val set_u24 : Bytes.t -> int -> int -> unit
+val set_u32 : Bytes.t -> int -> int -> unit
+
+val set_u64 : Bytes.t -> int -> int -> unit
+(** Writes the low 63 bits of a non-negative OCaml int as 8 bytes. *)

@@ -200,6 +200,39 @@ let test_pow_mod_edge_exponents () =
   check_e "e = 2^96 + 1" (B.add_int (B.shift_left B.one 96) 1);
   check_e "e = 2^126 + 2^5" (B.add (B.shift_left B.one 126) (B.of_int 32))
 
+let test_pow_mod_native_word () =
+  (* Moduli around the native-word fast-path cutoff (31 bits) agree with
+     the seed reference through both entry points, odd and even. *)
+  let rng = Crypto.Drbg.create ~seed:"native-pow" in
+  let moduli =
+    [
+      B.of_int 3;
+      B.of_int 255;
+      B.of_int 0x40000001;
+      B.of_int 0x7ffffffe;
+      B.of_int 0x7fffffff;
+      (* Just past the cutoff: still the Montgomery path. *)
+      B.add_int (B.shift_left B.one 31) 1;
+    ]
+  in
+  List.iter
+    (fun m ->
+      for _ = 1 to 10 do
+        let a = Crypto.Drbg.bignum_below rng (B.shift_left B.one 40) in
+        let e = Crypto.Drbg.bignum_below rng (B.shift_left B.one 40) in
+        Alcotest.(check string)
+          (Printf.sprintf "m = %s" (B.to_decimal m))
+          (B.to_decimal (B.Reference.pow_mod a e m))
+          (B.to_decimal (B.pow_mod a e m));
+        if not (B.is_even m) then
+          let ctx = B.mont_of_modulus m in
+          Alcotest.(check string)
+            (Printf.sprintf "ctx m = %s" (B.to_decimal m))
+            (B.to_decimal (B.Reference.pow_mod_ctx ctx a e))
+            (B.to_decimal (B.pow_mod_ctx ctx a e))
+      done)
+    moduli
+
 let test_pow_mod_fixed_base () =
   let m = B.sub_int (B.shift_left B.one 127) 1 in
   let ctx = B.mont_of_modulus m in
@@ -295,6 +328,80 @@ let prop_field_ops =
            (let am = B.rem a p and bm = B.rem b p in
             if B.compare am bm >= 0 then B.sub am bm else B.sub (B.add am p) bm))
 
+(* --- Specialized P-256 field ----------------------------------------------- *)
+
+module P256 = Crypto.P256_field
+
+let p256_fctx = lazy (B.Field.create P256.modulus)
+
+(* Every public field op of the specialized backend against the generic
+   Montgomery field on the same operands (values are reduced mod p on
+   entry, matching [of_bignum]). *)
+let p256_pair_agrees a b =
+  let ctx = Lazy.force p256_fctx in
+  let st = P256.create_state () in
+  let pa = P256.of_bignum a and pb = P256.of_bignum b in
+  let ga = B.Field.of_bignum ctx a and gb = B.Field.of_bignum ctx b in
+  let dst = P256.zero () in
+  let agree op gv =
+    op dst;
+    B.equal (P256.to_bignum dst) (B.Field.to_bignum ctx gv)
+  in
+  agree (fun d -> P256.mul st d pa pb) (B.Field.mul ctx ga gb)
+  && agree (fun d -> P256.sqr st d pa) (B.Field.sqr ctx ga)
+  && agree (fun d -> P256.add d pa pb) (B.Field.add ctx ga gb)
+  && agree (fun d -> P256.sub d pa pb) (B.Field.sub ctx ga gb)
+  && agree (fun d -> P256.neg d pa) (B.Field.neg ctx ga)
+  && agree (fun d -> P256.mul_small d pa 8) (B.Field.mul_small ctx ga 8)
+  && agree (fun d -> P256.mul_small d pa 3) (B.Field.mul_small ctx ga 3)
+  && (P256.is_zero pa || agree (fun d -> P256.inv st d pa) (B.Field.inv ctx ga))
+
+(* Adversarial corners: zero, one, p-1, the Solinas term boundaries
+   2^96 / 2^192 / 2^224, and all-ones values that drive the fast-path
+   carry fold to its extremes in both directions. *)
+let p256_edge_values =
+  let p = P256.modulus in
+  [
+    B.zero;
+    B.one;
+    B.two;
+    B.sub_int p 1;
+    B.sub_int p 2;
+    B.shift_left B.one 96;
+    B.sub_int (B.shift_left B.one 96) 1;
+    B.shift_left B.one 192;
+    B.shift_left B.one 224;
+    B.sub_int (B.shift_left B.one 224) 1;
+    B.sub_int (B.shift_left B.one 255) 1;
+    B.sub_int (B.shift_left B.one 256) 1;
+  ]
+
+let test_p256_field_edges () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (p256_pair_agrees a b) then
+            Alcotest.failf "p256 field mismatch on edge pair (%s, %s)" (B.to_hex a) (B.to_hex b))
+        p256_edge_values)
+    p256_edge_values
+
+let test_p256_field_roundtrip () =
+  let v = B.sub_int P256.modulus 12345 in
+  Alcotest.(check bool) "bignum roundtrip" true (B.equal v (P256.to_bignum (P256.of_bignum v)));
+  Alcotest.(check string) "bytes roundtrip" (B.to_bytes_be ~len:32 v)
+    (P256.to_bytes_be (P256.of_bytes_be (B.to_bytes_be ~len:32 v)))
+
+let gen_bignum_256 =
+  QCheck2.Gen.(
+    let* bytes = string_size ~gen:(char_range '\000' '\255') (return 32) in
+    return (B.of_bytes_be bytes))
+
+let prop_p256_field_matches_generic =
+  QCheck2.Test.make ~name:"p256 backend matches Bignum.Field" ~count:120
+    QCheck2.Gen.(pair gen_bignum_256 gen_bignum_256)
+    (fun (a, b) -> p256_pair_agrees a b)
+
 (* --- DRBG ------------------------------------------------------------------ *)
 
 let test_drbg_determinism () =
@@ -316,6 +423,26 @@ let test_drbg_fork () =
   let d2 = Crypto.Drbg.fork parent1 ~label:"y" in
   Alcotest.(check bool) "distinct labels diverge" false
     (String.equal (Crypto.Drbg.generate d1 32) (Crypto.Drbg.generate d2 32))
+
+let test_drbg_generate_into () =
+  (* generate_into is stream-identical to generate: same bytes out, same
+     state advance, for lengths on both sides of the 32-byte block. *)
+  let a = Crypto.Drbg.create ~seed:"gi" in
+  let b = Crypto.Drbg.create ~seed:"gi" in
+  List.iter
+    (fun n ->
+      let s = Crypto.Drbg.generate a n in
+      let buf = Bytes.make (n + 7) 'Z' in
+      Crypto.Drbg.generate_into b buf ~pos:3 ~len:n;
+      Alcotest.(check string) (Printf.sprintf "chunk of %d" n) s (Bytes.sub_string buf 3 n);
+      Alcotest.(check string) "prefix untouched" "ZZZ" (Bytes.sub_string buf 0 3);
+      Alcotest.(check string) "suffix untouched" "ZZZZ" (Bytes.sub_string buf (3 + n) 4))
+    [ 1; 31; 32; 33; 0; 64; 100 ];
+  Alcotest.(check (pair string string)) "states still aligned"
+    (Crypto.Drbg.state a) (Crypto.Drbg.state b);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Drbg.generate_into: range out of bounds") (fun () ->
+      Crypto.Drbg.generate_into a (Bytes.create 4) ~pos:2 ~len:3)
 
 let prop_drbg_int_below =
   QCheck2.Test.make ~name:"int_below stays in range" ~count:300
@@ -705,6 +832,7 @@ let () =
           Alcotest.test_case "byte conversions" `Quick test_bignum_bytes;
           Alcotest.test_case "to_int boundary" `Quick test_bignum_to_int_boundary;
           Alcotest.test_case "pow_mod edge exponents" `Quick test_pow_mod_edge_exponents;
+          Alcotest.test_case "pow_mod native word" `Quick test_pow_mod_native_word;
           Alcotest.test_case "fixed-base exponentiation" `Quick test_pow_mod_fixed_base;
         ] );
       qsuite "bignum-properties"
@@ -719,10 +847,17 @@ let () =
           prop_pow_mod_matches_reference;
           prop_field_ops;
         ];
+      ( "p256-field",
+        [
+          Alcotest.test_case "adversarial edges" `Quick test_p256_field_edges;
+          Alcotest.test_case "roundtrips" `Quick test_p256_field_roundtrip;
+        ] );
+      qsuite "p256-field-properties" [ prop_p256_field_matches_generic ];
       ( "drbg",
         [
           Alcotest.test_case "determinism" `Quick test_drbg_determinism;
           Alcotest.test_case "fork" `Quick test_drbg_fork;
+          Alcotest.test_case "generate_into" `Quick test_drbg_generate_into;
           Alcotest.test_case "weighted" `Quick test_drbg_weighted;
         ] );
       qsuite "drbg-properties" [ prop_drbg_int_below ];

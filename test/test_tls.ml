@@ -874,6 +874,32 @@ let test_record_codec () =
         && String.equal (Tls.Record.payload r') "payload bytes")
   | Error e -> Alcotest.fail e
 
+let test_record_codec_reuse () =
+  (* The buffer-reuse encode/decode pair frames identically to the
+     string codec and tolerates offsets into a shared buffer. *)
+  let r = Tls.Record.make ~content_type:T.Handshake_ct "payload bytes" in
+  let len = Tls.Record.encoded_len r in
+  Alcotest.(check int) "encoded_len" (String.length (Tls.Record.to_bytes r)) len;
+  let buf = Bytes.make (len + 6) '\xee' in
+  let written = Tls.Record.to_bytes_into buf ~pos:4 r in
+  Alcotest.(check int) "written" len written;
+  Alcotest.(check string) "same framing" (Tls.Record.to_bytes r) (Bytes.sub_string buf 4 len);
+  (match Tls.Record.of_bytes_sub buf ~pos:4 ~len with
+  | Ok r' ->
+      Alcotest.(check bool) "decode from buffer" true
+        (Tls.Record.content_type r' = T.Handshake_ct
+        && String.equal (Tls.Record.payload r') "payload bytes")
+  | Error e -> Alcotest.fail e);
+  (* The decoded payload must survive the buffer being refilled. *)
+  (match Tls.Record.of_bytes_sub buf ~pos:4 ~len with
+  | Ok r' ->
+      Bytes.fill buf 0 (Bytes.length buf) '\x00';
+      Alcotest.(check string) "payload is a copy" "payload bytes" (Tls.Record.payload r')
+  | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "does not fit"
+    (Invalid_argument "Record.to_bytes_into: range out of bounds") (fun () ->
+      ignore (Tls.Record.to_bytes_into (Bytes.create (len - 1)) ~pos:0 r))
+
 (* --- Wire-level connections (record layer + CCS + encrypted Finished) ------------------------ *)
 
 let establish_conn ?(offer = Tls.Client.Fresh) ?(now = 1000) () =
@@ -1075,6 +1101,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
           Alcotest.test_case "tamper" `Quick test_record_tamper;
           Alcotest.test_case "codec" `Quick test_record_codec;
+          Alcotest.test_case "codec buffer reuse" `Quick test_record_codec_reuse;
         ] );
       qsuite "handshake-properties" [ prop_handshake_schedules ];
     ]

@@ -72,6 +72,46 @@ let test_sub_reader () =
       Alcotest.(check string) "sub content" "abc" (R.take_rest sub);
       Alcotest.(check string) "parent continues" "def" (R.take_rest r))
 
+let test_direct_stores () =
+  (* The set_* stores produce exactly the streaming writers' encoding. *)
+  let streamed =
+    W.build (fun w ->
+        W.u8 w 0xab;
+        W.u16 w 0x1234;
+        W.u24 w 0x56789a;
+        W.u32 w 0xdeadbeef;
+        W.u64 w 0x0123456789abcd)
+  in
+  let buf = Bytes.create (String.length streamed) in
+  W.set_u8 buf 0 0xab;
+  W.set_u16 buf 1 0x1234;
+  W.set_u24 buf 3 0x56789a;
+  W.set_u32 buf 6 0xdeadbeef;
+  W.set_u64 buf 10 0x0123456789abcd;
+  Alcotest.(check string) "same encoding" streamed (Bytes.to_string buf);
+  Alcotest.check_raises "set_u8 too big" (Invalid_argument "Writer.set_u8: out of range")
+    (fun () -> W.set_u8 buf 0 256);
+  Alcotest.check_raises "set_u64 negative" (Invalid_argument "Writer.set_u64: negative")
+    (fun () -> W.set_u64 buf 0 (-1))
+
+let test_of_bytes () =
+  let buf = Bytes.of_string "\x12\x34\x02ab" in
+  let r = R.of_bytes buf in
+  Alcotest.(check int) "u16" 0x1234 (R.u16 r);
+  Alcotest.(check string) "vec8" "ab" (R.vec8 r);
+  R.expect_end r;
+  (* Windowed view. *)
+  let r = R.of_bytes ~pos:1 ~len:2 buf in
+  Alcotest.(check int) "windowed u16" 0x3402 (R.u16 r);
+  Alcotest.(check bool) "windowed end" true (R.is_empty r)
+
+let test_writer_clear () =
+  let w = W.create () in
+  W.u16 w 0xbeef;
+  W.clear w;
+  W.vec8 w "xy";
+  Alcotest.(check string) "only post-clear content" "\x02xy" (W.to_string w)
+
 let prop_vec_roundtrip =
   QCheck2.Test.make ~name:"vector roundtrips" ~count:300
     QCheck2.Gen.(string_size (int_range 0 300))
@@ -124,6 +164,9 @@ let () =
           Alcotest.test_case "vector limits" `Quick test_vector_limits;
           Alcotest.test_case "short reads" `Quick test_short_reads;
           Alcotest.test_case "sub reader" `Quick test_sub_reader;
+          Alcotest.test_case "direct stores" `Quick test_direct_stores;
+          Alcotest.test_case "reader over bytes" `Quick test_of_bytes;
+          Alcotest.test_case "writer clear" `Quick test_writer_clear;
         ] );
       qsuite "properties" [ prop_vec_roundtrip; prop_int_roundtrip; prop_concat_roundtrip ];
     ]
