@@ -379,6 +379,41 @@ let check_baseline () =
            (floor %.2fx), jobs-invariant.\n"
           udps speedup jobs n_shards floor
   in
+  (* The byzantine-overhead gate: fault synthesis runs the real codecs
+     on every injected byzantine decision, which must stay a bounded tax
+     on probe throughput, and surviving observations must stay
+     byte-identical to the clean campaign. *)
+  let faults_gate =
+    match Json_io.member "faults" current_json with
+    | None ->
+        Printf.sprintf
+          "No \"faults\" section in %s; run `bench faults` to gate byzantine overhead.\n"
+          current_path
+    | Some c ->
+        let num key =
+          match Option.bind (Json_io.member key c) Json_io.to_float with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "%s: faults section lacks %S" current_path key)
+        in
+        let overhead = num "byzantine_overhead" in
+        let deterministic =
+          match Json_io.member "deterministic" c with
+          | Some (Json_io.Bool b) -> b
+          | _ -> fail (current_path ^ ": faults section lacks \"deterministic\"")
+        in
+        if not deterministic then
+          fail "faults: surviving observations differ from the clean campaign (isolation broken)";
+        if overhead > 3.0 then
+          fail
+            (Printf.sprintf
+               "faults: byzantine campaign overhead %.2fx exceeds the 3.0x ceiling — fault \
+                synthesis or the breaker path regressed"
+               overhead);
+        Printf.sprintf
+          "Faults: byzantine overhead %.2fx of clean (ceiling 3.0x), %.0f byzantine losses, \
+           survivors byte-identical.\n"
+          overhead (num "byzantine_losses")
+  in
   let rows =
     List.map
       (fun (name, base_ops) ->
@@ -434,6 +469,7 @@ let check_baseline () =
   ^ "\n"
   ^ Analysis.Report.table ~headers:[ "Kernel"; "Baseline ops/s"; "Current ops/s"; "Ratio" ] ~rows
   ^ "\n\nAll kernels within 2x of baseline.\n" ^ speedup_gates ^ campaign_gate ^ traffic_gate
+  ^ faults_gate
 
 (* --- Microbenchmarks ----------------------------------------------------------- *)
 
@@ -1005,6 +1041,49 @@ let faults_bench () =
         | None -> ())
     (index faulty);
   let totals = Faults.Funnel.totals funnel in
+  (* The byzantine profile is the expensive one: every injected fault
+     synthesizes and decodes hostile bytes through the real codecs, so
+     its probe throughput against the clean run is the honest price of
+     adversarial robustness — measured here, gated in check-baseline. *)
+  let byz_world = fresh () in
+  let byz_injector = Faults.Injector.create ~profile:Faults.Profile.byzantine byz_world in
+  let byz_funnel = Faults.Funnel.create () in
+  let byzantine, t_byz =
+    time (fun () ->
+        Scanner.Daily_scan.run ~injector:byz_injector ~retry:Faults.Retry.default
+          ~funnel:byz_funnel byz_world ~days ())
+  in
+  let byz_checked = ref 0 and byz_mismatches = ref 0 in
+  Hashtbl.iter
+    (fun key (r : Scanner.Daily_scan.day_record) ->
+      if r.Scanner.Daily_scan.default_ok && r.Scanner.Daily_scan.dhe_ok then
+        match Hashtbl.find_opt clean_ix key with
+        | Some c ->
+            incr byz_checked;
+            if r <> c then incr byz_mismatches
+        | None -> ())
+    (index byzantine);
+  let byz_totals = Faults.Funnel.totals byz_funnel in
+  let byz_lost_byzantine =
+    List.fold_left
+      (fun acc (f, n) -> if Faults.Fault.is_byzantine f then acc + n else acc)
+      0 byz_totals.Faults.Funnel.t_losses
+  in
+  let probes = float_of_int byz_totals.Faults.Funnel.t_probes in
+  update_bench_json "faults"
+    (Json_io.Obj
+       [
+         ("n_domains", Json_io.Num (float_of_int n_domains));
+         ("days", Json_io.Num (float_of_int days));
+         ("probes", Json_io.Num probes);
+         ("clean_s", Json_io.Num t_clean);
+         ("byzantine_s", Json_io.Num t_byz);
+         ("clean_probes_per_sec", Json_io.Num (probes /. t_clean));
+         ("byzantine_probes_per_sec", Json_io.Num (probes /. t_byz));
+         ("byzantine_overhead", Json_io.Num (t_byz /. t_clean));
+         ("byzantine_losses", Json_io.Num (float_of_int byz_lost_byzantine));
+         ("deterministic", Json_io.Bool (!byz_mismatches = 0 && !mismatches = 0));
+       ]);
   Analysis.Funnel_report.render
     ~title:
       (Printf.sprintf "Fault-injection funnel (profile: default, %d domains, %d days)" n_domains
@@ -1022,6 +1101,21 @@ clean campaign %.2f s, faulty campaign %.2f s (%.2fx); %d surviving observations
   ^ Printf.sprintf "lost %d of %d probes to injected faults.
 "
       (Faults.Funnel.lost totals) totals.Faults.Funnel.t_probes
+  ^ Analysis.Funnel_report.render
+      ~title:
+        (Printf.sprintf "Byzantine funnel (profile: byzantine, %d domains, %d days)" n_domains
+           days)
+      byz_funnel
+  ^ Printf.sprintf
+      "
+byzantine campaign %.2f s (%.2fx of clean, %.0f probes/s vs %.0f clean); %d surviving observations, %d mismatch%s%s.
+%d probes lost to byzantine causes (malformed + protocol violations).
+"
+      t_byz (t_byz /. t_clean) (probes /. t_byz) (probes /. t_clean) !byz_checked
+      !byz_mismatches
+      (if !byz_mismatches = 1 then "" else "es")
+      (if !byz_mismatches = 0 then "" else " (BUG: byzantine injection perturbed surviving probes)")
+      byz_lost_byzantine
 
 (* --- Driver ------------------------------------------------------------------------- *)
 

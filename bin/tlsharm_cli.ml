@@ -49,8 +49,9 @@ let fault_profile_arg =
         ~doc:
           "Fault-injection profile for the simulated network: $(b,none) (fault-free legacy \
            behavior, the default), $(b,default) (\u{00a7}3-plausible transient faults and endpoint \
-           outage windows) or $(b,flaky) (hostile network for stress tests). Deterministic in \
-           the world and fault seeds.")
+           outage windows), $(b,flaky) (hostile network for stress tests) or $(b,byzantine) \
+           (default-profile weather plus peers answering with malformed or protocol-violating \
+           bytes). Deterministic in the world and fault seeds.")
 
 let retries_arg =
   Arg.(
@@ -1039,6 +1040,69 @@ let traffic_cmd =
         (const traffic $ users $ days_arg $ domains_arg $ seed_arg $ jobs_arg $ shard_users
        $ policy $ ticket_lifetime $ pages_per_day $ stream_out $ metrics_out_arg $ trace_out_arg))
 
+(* --- fuzz --------------------------------------------------------------------------------- *)
+
+let fuzz count seed artifact verbose =
+  guard (fun () ->
+      if count < 1 then `Error (false, "--count must be at least 1")
+      else begin
+        let progress n =
+          if verbose && n mod 10_000 = 0 then Printf.eprintf "fuzz: %d drives\r%!" n
+        in
+        let report = Faults.Fuzz.run ~seed ~progress ~count () in
+        if verbose then prerr_newline ();
+        Printf.printf "fuzz: %d drives (seed %S): %d parsed, %d rejected, %d escapes\n"
+          report.Faults.Fuzz.executed seed report.Faults.Fuzz.parsed
+          report.Faults.Fuzz.rejected
+          (List.length report.Faults.Fuzz.escapes);
+        List.iter
+          (fun (name, n) -> Printf.printf "  %-20s %8d\n" name n)
+          report.Faults.Fuzz.by_target;
+        match report.Faults.Fuzz.escapes with
+        | [] -> `Ok ()
+        | escapes ->
+            let text =
+              String.concat "\n" (List.map Faults.Fuzz.render_escape escapes)
+            in
+            (match artifact with
+            | Some path ->
+                Out_channel.with_open_text path (fun oc -> output_string oc text);
+                Printf.eprintf "fuzz: reproducers written to %s\n" path
+            | None -> prerr_string text);
+            `Error (false, Printf.sprintf "fuzz: %d escaped input(s)" (List.length escapes))
+      end)
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value
+      & opt int 100_000
+      & info [ "count" ] ~docv:"N" ~doc:"Number of mutated inputs to drive.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt string "wire-fuzz"
+      & info [ "fuzz-seed" ] ~docv:"SEED"
+          ~doc:
+            "Fuzzer seed. Inputs are a pure function of (seed, count), so a failing run's \
+             arguments are a permanent reproducer.")
+  in
+  let artifact =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact" ] ~docv:"PATH"
+          ~doc:"Write escaped inputs as hex-dump reproducers to $(i,PATH) instead of stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Drive deterministic structure-aware mutations of valid TLS transcripts through every \
+          peer-facing decoder and engine entry point; exit nonzero if any input escapes the \
+          typed-error contract (exception or allocation-cap breach).")
+    Term.(ret (const fuzz $ count $ seed $ artifact $ verbose_arg))
+
 (* --- main --------------------------------------------------------------------------------- *)
 
 let () =
@@ -1059,4 +1123,5 @@ let () =
             metrics_report_cmd;
             posture_cmd;
             attack_cmd;
+            fuzz_cmd;
           ]))

@@ -63,12 +63,29 @@ let render ?(title = "Measurement-loss funnel (per scan day)") funnel =
            exhausted its restarts and was abandoned), which is a
            different kind of loss than any per-connection fault and the
            signature of a degraded — but completed — campaign. *)
-        match List.assoc_opt Faults.Fault.Worker_crash t.Faults.Funnel.t_losses with
+        (match List.assoc_opt Faults.Fault.Worker_crash t.Faults.Funnel.t_losses with
         | Some n when n > 0 ->
             Buffer.add_string buf
               (Printf.sprintf "supervised shard failures: %d probes abandoned (%s of probes)\n" n
                  (Report.fmt_pct (float_of_int n /. probes)))
-        | _ -> ()
+        | _ -> ());
+        (* Byzantine peers get the same treatment: responses the peer
+           actively corrupted, split between bytes the parsers rejected
+           outright and bytes that decoded into protocol nonsense. *)
+        let byz_lost f =
+          match List.assoc_opt f t.Faults.Funnel.t_losses with
+          | Some n -> n
+          | None -> 0
+        in
+        let malformed = byz_lost Faults.Fault.Malformed_response in
+        let violations = byz_lost Faults.Fault.Protocol_violation in
+        if malformed + violations > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "byzantine responses: %d probes lost (%s of probes): %d malformed, %d protocol violations\n"
+               (malformed + violations)
+               (Report.fmt_pct (float_of_int (malformed + violations) /. probes))
+               malformed violations)
       end);
   Buffer.add_string buf
     "\nThe paper's Section 3 scans lose a small fraction of each day's probes to\n\

@@ -1,0 +1,30 @@
+(** Per-operator circuit breaker: after [threshold] consecutive
+    injected-fault failures against one operator, the next [cooldown]
+    probes get a single-attempt retry budget instead of the full one.
+    Success (or a ground-truth world error) closes the breaker. State
+    advances only through {!attempts_allowed}/{!record} in probe order,
+    so budgets are deterministic and jobs-invariant. *)
+
+type t
+
+val default_threshold : int
+(** 5 consecutive failures arm the breaker. *)
+
+val default_cooldown : int
+(** 25 single-attempt probes before the full budget returns. *)
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive parameters. *)
+
+val attempts_allowed : t -> operator:string -> max_attempts:int -> int
+(** The retry budget for the next probe against [operator] — 1 while the
+    breaker is open (consuming one cooldown tick), [max_attempts]
+    otherwise. Call exactly once per probe. *)
+
+val record : t -> operator:string -> (unit, Fault.t) result -> unit
+(** Feed a probe outcome back. Injected-fault exhaustion counts toward
+    opening; success and world-level errors reset the operator. *)
+
+val is_open : t -> operator:string -> bool
+(** Whether [operator]'s breaker is currently open (for tests and
+    reports); does not consume a cooldown tick. *)

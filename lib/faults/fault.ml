@@ -15,6 +15,8 @@ type t =
   | Truncated_record (* injected: the stream dies inside a record *)
   | Slow_handshake (* injected latency exceeded the probe deadline *)
   | Endpoint_outage (* whole-endpoint down-window (minutes to hours) *)
+  | Malformed_response (* injected: well-framed bytes the codecs reject *)
+  | Protocol_violation (* injected: parses cleanly but breaks the protocol *)
   | Worker_crash (* a scanning worker died; the shard's probes were abandoned *)
   | Unknown (* archived row predating failure classification *)
 
@@ -29,6 +31,8 @@ let all =
     Truncated_record;
     Slow_handshake;
     Endpoint_outage;
+    Malformed_response;
+    Protocol_violation;
     Worker_crash;
     Unknown;
   ]
@@ -44,6 +48,8 @@ let to_string = function
   | Truncated_record -> "truncated"
   | Slow_handshake -> "slow"
   | Endpoint_outage -> "outage"
+  | Malformed_response -> "malformed"
+  | Protocol_violation -> "byzantine"
   | Worker_crash -> "crash"
   | Unknown -> "unknown"
 
@@ -57,6 +63,8 @@ let of_string = function
   | "truncated" -> Some Truncated_record
   | "slow" -> Some Slow_handshake
   | "outage" -> Some Endpoint_outage
+  | "malformed" -> Some Malformed_response
+  | "byzantine" -> Some Protocol_violation
   | "crash" -> Some Worker_crash
   | "unknown" -> Some Unknown
   | _ -> None
@@ -66,6 +74,13 @@ let of_string = function
    loss coin) are the simulation's ground truth and are never retried. *)
 let is_injected = function
   | Connect_timeout | Tcp_reset | Tls_alert | Truncated_record | Slow_handshake
-  | Endpoint_outage ->
+  | Endpoint_outage | Malformed_response | Protocol_violation ->
       true
   | No_such_domain | No_https | Connection_refused | Worker_crash | Unknown -> false
+
+(* The byzantine subset: losses caused by a peer that *answered* but
+   answered wrong — what the circuit breaker and the funnel report's
+   byzantine row single out from ordinary availability faults. *)
+let is_byzantine = function
+  | Malformed_response | Protocol_violation -> true
+  | _ -> false

@@ -11,6 +11,12 @@ type t =
   | Truncated_record
   | Slow_handshake  (** latency draw exceeded the probe deadline *)
   | Endpoint_outage  (** whole-endpoint down-window *)
+  | Malformed_response
+      (** injected byzantine response whose bytes the typed decoders
+          reject (corrupt fields, hostile lengths, truncated framing) *)
+  | Protocol_violation
+      (** injected byzantine response that parses cleanly but violates
+          the protocol (wrong version, bad MAC, stale ticket) *)
   | Worker_crash
       (** a scanning worker exhausted its supervised restarts; the
           shard's remaining probes were abandoned *)
@@ -26,3 +32,7 @@ val of_string : string -> t option
 val is_injected : t -> bool
 (** Injected faults are transient (retryable); world-level errors are
     ground truth and final. *)
+
+val is_byzantine : t -> bool
+(** The byzantine subset of injected faults: the peer answered, but with
+    malformed or protocol-violating bytes. *)

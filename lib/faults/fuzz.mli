@@ -1,0 +1,30 @@
+(** The deterministic structure-aware wire fuzzer: mutates canned valid
+    transcripts with {!Byzantine.mutate} and drives them through every
+    peer-facing decoder and engine entry point, recording any escaped
+    exception or allocation-cap breach. A pure function of
+    (seed, count) — same arguments, same inputs, so every escape is a
+    permanent reproducer. *)
+
+type escape = {
+  e_target : string;
+  e_input : string;  (** the exact bytes that were driven *)
+  e_reason : string;  (** exception text, or the allocation-cap breach *)
+}
+
+type report = {
+  executed : int;
+  parsed : int;  (** drives the decoder accepted *)
+  rejected : int;  (** drives rejected with a typed error *)
+  escapes : escape list;
+  by_target : (string * int) list;  (** drives per target, fuzzer order *)
+}
+
+val run :
+  ?seed:string -> ?progress:(int -> unit) -> count:int -> unit -> report
+(** Run [count] drives. [seed] defaults to ["wire-fuzz"]; [progress] is
+    called with the number of drives completed after each one. *)
+
+val hex_dump : string -> string
+(** xxd-style offset/hex/ASCII rendering, for failure artifacts. *)
+
+val render_escape : escape -> string

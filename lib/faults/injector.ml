@@ -47,6 +47,9 @@ let outage_at t ~(rates : Profile.rates) ~ep ~time =
   let finish = min (start + dur) (epoch_start + outage_epoch) in
   time >= start && time < finish
 
+let operator_of t ~hostname =
+  Option.map snd (Simnet.World.endpoint_info t.world hostname)
+
 let endpoint_outage_at t ~hostname ~time =
   match Simnet.World.endpoint_info t.world hostname with
   | None -> false
@@ -79,6 +82,12 @@ let decide t ~hostname ~time ~attempt =
         else if in_band rates.Profile.reset_p then Fault Fault.Tcp_reset
         else if in_band rates.Profile.alert_p then Fault Fault.Tls_alert
         else if in_band rates.Profile.truncated_p then Fault Fault.Truncated_record
+        else if in_band rates.Profile.byzantine_p then
+          (* The peer answers with hostile bytes; synthesize and decode
+             them to pick malformed vs. protocol-violation. Profiles with
+             byzantine_p = 0 never reach this band, so their decision
+             streams are untouched. *)
+          Fault (Byzantine.classify ~key:(key "byz"))
         else if in_band rates.Profile.slow_p then begin
           let lo, hi = rates.Profile.slow_latency in
           Slow (Det.int_in (key "lat") ~lo ~hi)

@@ -19,6 +19,10 @@ val profile : t -> Profile.t
 
 val decide : t -> hostname:string -> time:int -> attempt:int -> decision
 
+val operator_of : t -> hostname:string -> string option
+(** The operator serving [hostname], for per-operator accounting
+    (circuit breaker); [None] for hostnames outside the world. *)
+
 val endpoint_outage_at : t -> hostname:string -> time:int -> bool
 (** Whether the endpoint serving [hostname] is inside a scheduled
     outage window at [time] (exposed for tests and analysis). *)

@@ -12,6 +12,7 @@ type rates = {
   reset_p : float; (* per-attempt: RST mid-handshake *)
   alert_p : float; (* per-attempt: fatal TLS alert *)
   truncated_p : float; (* per-attempt: stream cut inside a record *)
+  byzantine_p : float; (* per-attempt: peer answers with hostile bytes *)
   slow_p : float; (* per-attempt: latency draw instead of instant *)
   slow_latency : int * int; (* seconds, min/max, when slow *)
   outage_p : float; (* per 6h epoch: endpoint-wide down-window *)
@@ -30,6 +31,7 @@ let zero_rates =
     reset_p = 0.0;
     alert_p = 0.0;
     truncated_p = 0.0;
+    byzantine_p = 0.0;
     slow_p = 0.0;
     slow_latency = (1, 1);
     outage_p = 0.0;
@@ -50,6 +52,7 @@ let default_rates_tail =
     reset_p = 0.008;
     alert_p = 0.004;
     truncated_p = 0.004;
+    byzantine_p = 0.0;
     slow_p = 0.010;
     slow_latency = (5, 45);
     outage_p = 0.020;
@@ -64,6 +67,7 @@ let default_rates_giant =
     reset_p = 0.001;
     alert_p = 0.0005;
     truncated_p = 0.0005;
+    byzantine_p = 0.0;
     slow_p = 0.002;
     slow_latency = (2, 10);
     outage_p = 0.002;
@@ -90,6 +94,7 @@ let flaky =
         reset_p = 0.06;
         alert_p = 0.03;
         truncated_p = 0.03;
+        byzantine_p = 0.0;
         slow_p = 0.08;
         slow_latency = (10, 120);
         outage_p = 0.08;
@@ -98,12 +103,31 @@ let flaky =
     per_operator = [];
   }
 
-let names = [ "none"; "default"; "flaky" ]
+(* Byzantine peers on top of default-profile weather: a stress profile
+   where the tail answers with hostile bytes on ~12% of attempts — high
+   enough that retry exhaustion (and so malformed/byzantine funnel
+   losses) actually happens at campaign scale, and consecutive-failure
+   streaks trip the per-operator circuit breaker in {!Net}. The giants
+   misbehave an order of magnitude less, mirroring the percent-scale
+   nonconformance the cross-regional studies in PAPERS.md report. *)
+let byzantine =
+  {
+    name = "byzantine";
+    default_rates = { default_rates_tail with byzantine_p = 0.12 };
+    per_operator =
+      [
+        ("cloudflare", { default_rates_giant with byzantine_p = 0.012 });
+        ("google", { default_rates_giant with byzantine_p = 0.012 });
+      ];
+  }
+
+let names = [ "none"; "default"; "flaky"; "byzantine" ]
 
 let of_name = function
   | "none" -> Some none
   | "default" -> Some default
   | "flaky" -> Some flaky
+  | "byzantine" -> Some byzantine
   | _ -> None
 
 let rates_for t ~operator =
@@ -111,4 +135,6 @@ let rates_for t ~operator =
   | Some r -> r
   | None -> t.default_rates
 
-let transient_sum r = r.timeout_p +. r.reset_p +. r.alert_p +. r.truncated_p +. r.slow_p
+let transient_sum r =
+  r.timeout_p +. r.reset_p +. r.alert_p +. r.truncated_p +. r.byzantine_p
+  +. r.slow_p

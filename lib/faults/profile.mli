@@ -8,6 +8,7 @@ type rates = {
   reset_p : float;
   alert_p : float;
   truncated_p : float;
+  byzantine_p : float;  (** per-attempt: peer answers with hostile bytes *)
   slow_p : float;
   slow_latency : int * int;  (** seconds, min/max *)
   outage_p : float;  (** per 6-hour epoch *)
@@ -24,6 +25,10 @@ val zero_rates : rates
 val none : t
 val default : t
 val flaky : t
+
+val byzantine : t
+(** Default-profile weather plus byzantine peers: hostile bytes on ~4%
+    of tail attempts, 0.4% for the giants. *)
 
 val names : string list
 (** Names accepted by {!of_name}, for CLI docs. *)

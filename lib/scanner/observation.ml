@@ -104,7 +104,14 @@ let of_csv_row row =
         match failure with
         | None -> Some (if ok then None else Some Faults.Fault.Unknown)
         | Some "" -> Some None
-        | Some s -> Option.map Option.some (Faults.Fault.of_string s)
+        | Some s ->
+            (* Forward compat: archives written by a newer build may name
+               causes this build doesn't know; load them as [Unknown]
+               rather than rejecting the whole archive. *)
+            Some
+              (Some
+                 (Option.value (Faults.Fault.of_string s)
+                    ~default:Faults.Fault.Unknown))
       in
       let* attempts =
         match attempts with None -> Some 1 | Some s -> int_of_string_opt s

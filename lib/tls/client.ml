@@ -115,6 +115,13 @@ let verify_ske_signature t ~leaf ~client_random ~server_random (ske : Msg.server
       | Error _ -> false
       | Ok sg -> Crypto.Ecdsa.verify ~curve:env.Config.pki_curve ~pub ~msg sg)
 
+(* Peer-supplied DH moduli are untrusted: an even or tiny p blows up the
+   Montgomery setup, and a 65535-byte p turns one pow_mod into a
+   shard-stalling time bomb. Real TLS stacks cap accepted moduli (e.g.
+   OpenSSL's 10000-bit limit); we accept 16..4096 bits. *)
+let max_peer_dh_bits = 4096
+let min_peer_dh_bits = 16
+
 (* Build a DH group from ServerKeyExchange parameters, reusing the cached
    environment group when the parameters match (the common case). *)
 let group_of_ske_params t ~dh_p ~dh_g =
@@ -123,8 +130,20 @@ let group_of_ske_params t ~dh_p ~dh_g =
   if
     Crypto.Bignum.equal p (Crypto.Dh.group_p env_group)
     && Crypto.Bignum.equal g (Crypto.Dh.group_g env_group)
-  then env_group
-  else Crypto.Dh.make_group ~name:"peer-supplied" ~p ~g ~q_bits:(Crypto.Bignum.num_bits p - 2)
+  then Ok env_group
+  else begin
+    let p_bits = Crypto.Bignum.num_bits p in
+    if p_bits < min_peer_dh_bits || p_bits > max_peer_dh_bits then
+      Error "dhe: peer modulus size out of bounds"
+    else if Crypto.Bignum.is_even p then Error "dhe: peer modulus is even"
+    else if
+      Crypto.Bignum.compare g Crypto.Bignum.one <= 0 || Crypto.Bignum.compare g p >= 0
+    then Error "dhe: peer generator out of range"
+    else
+      Ok
+        (Crypto.Dh.make_group ~name:"peer-supplied" ~p ~g
+           ~q_bits:(min (p_bits - 2) 256))
+  end
 
 (* Key exchange from the client side; returns the CKE public value, the
    premaster secret, and the server's public value (for reuse tracking). *)
@@ -133,11 +152,13 @@ let client_kex state ~leaf ~suite ~ske =
   let env = t.config.Config.cl_env in
   match (Types.suite_kex suite, ske) with
   | Types.Dhe, Some Msg.{ ske_params = Ske_dhe { dh_p; dh_g; dh_ys }; _ } -> (
-      let group = group_of_ske_params t ~dh_p ~dh_g in
-      let kp = Crypto.Dh.gen_keypair group t.rng in
-      match Crypto.Dh.shared_secret kp ~peer_pub:(Crypto.Bignum.of_bytes_be dh_ys) with
+      match group_of_ske_params t ~dh_p ~dh_g with
       | Error e -> Error e
-      | Ok z -> Ok (Crypto.Dh.public_bytes kp, z, Some dh_ys))
+      | Ok group -> (
+          let kp = Crypto.Dh.gen_keypair group t.rng in
+          match Crypto.Dh.shared_secret kp ~peer_pub:(Crypto.Bignum.of_bytes_be dh_ys) with
+          | Error e -> Error e
+          | Ok z -> Ok (Crypto.Dh.public_bytes kp, z, Some dh_ys)))
   | Types.Ecdhe, Some Msg.{ ske_params = Ske_ecdhe { curve_id; point }; _ }
     when curve_id = x25519_group_id ->
       if String.length point <> Crypto.X25519.key_len then Error "x25519: bad server share"

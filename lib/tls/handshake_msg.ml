@@ -131,6 +131,8 @@ let read_server_hello r =
   let sh_version = read_version r in
   let sh_random = Wire.Reader.take r Types.random_len in
   let sh_session_id = Wire.Reader.vec8 r in
+  if String.length sh_session_id > Types.session_id_max then
+    raise (Wire.Reader.Error "session ID too long");
   let suite_code = Wire.Reader.u16 r in
   let sh_cipher_suite =
     match Types.suite_of_int suite_code with

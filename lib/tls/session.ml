@@ -33,9 +33,16 @@ let write w t =
 
 let to_bytes t = Wire.Writer.build (fun w -> write w t)
 
+(* Decoded state must satisfy the same invariants [make] enforces —
+   ticket blobs are peer-influenced bytes, so violations are parse
+   errors, not assertion failures. *)
 let read r =
   let id = Wire.Reader.vec8 r in
+  if String.length id > Types.session_id_max then
+    raise (Wire.Reader.Error "session: session ID too long");
   let master_secret = Wire.Reader.vec8 r in
+  if String.length master_secret <> Crypto.Prf.master_secret_len then
+    raise (Wire.Reader.Error "session: master secret must be 48 bytes");
   let suite_code = Wire.Reader.u16 r in
   let established_at = Wire.Reader.u64 r in
   match Types.suite_of_int suite_code with

@@ -157,6 +157,98 @@ let prop_atomic_roundtrip =
           | Ok c -> String.equal c content
           | Error _ -> false))
 
+(* --- Random corruption corpus ------------------------------------------------ *)
+
+(* Byzantine-storage analog of the wire fuzzer: arbitrary single-byte
+   damage and truncation against the durable readers must always come
+   back as a typed [error] — never an exception, never silently-wrong
+   content. *)
+
+let prop_atomic_flip_detected =
+  QCheck2.Test.make ~name:"atomic read total+typed under byte flips" ~count:300
+    QCheck2.Gen.(triple (string_size (int_range 0 2000)) small_nat (int_range 1 255))
+    (fun (content, pos, x) ->
+      with_temp_file (fun path ->
+          Durable.Atomic_io.write path content;
+          let raw = Bytes.of_string (slurp path) in
+          let p = pos mod Bytes.length raw in
+          Bytes.set raw p (Char.chr (Char.code (Bytes.get raw p) lxor x));
+          spew path (Bytes.to_string raw);
+          match Durable.Atomic_io.read path with
+          | Error _ -> true
+          | Ok c ->
+              QCheck2.Test.fail_reportf
+                "flip at byte %d (xor %#x) read back Ok with %d bytes" p x
+                (String.length c)
+          | exception e ->
+              QCheck2.Test.fail_reportf "read raised %s" (Printexc.to_string e)))
+
+let prop_atomic_truncation_detected =
+  QCheck2.Test.make ~name:"atomic read total+typed under truncation" ~count:300
+    QCheck2.Gen.(pair (string_size (int_range 0 2000)) small_nat)
+    (fun (content, cut) ->
+      with_temp_file (fun path ->
+          Durable.Atomic_io.write path content;
+          let raw = slurp path in
+          let keep = cut mod String.length raw in
+          spew path (String.sub raw 0 keep);
+          match Durable.Atomic_io.read path with
+          | Error _ -> true
+          | Ok c ->
+              QCheck2.Test.fail_reportf "file cut to %d bytes read back Ok with %d bytes"
+                keep (String.length c)
+          | exception e ->
+              QCheck2.Test.fail_reportf "read raised %s" (Printexc.to_string e)))
+
+let prop_spool_flip_total =
+  (* The spool's contract under damage is weaker (it frames against
+     tearing, not bit rot — payload integrity belongs to the CSV layer
+     above), but the reader must stay total: a typed result whose block
+     list never exceeds what was written, with every block of a complete
+     read bounded by its frame. *)
+  QCheck2.Test.make ~name:"spool read total under byte flips" ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 6) (string_size (int_range 0 200)))
+        small_nat (int_range 1 255))
+    (fun (payloads, pos, x) ->
+      with_temp_file (fun path ->
+          let w = Durable.Spool.create path in
+          List.iter (Durable.Spool.add_block w) payloads;
+          Durable.Spool.close w;
+          let raw = Bytes.of_string (slurp path) in
+          let p = pos mod Bytes.length raw in
+          Bytes.set raw p (Char.chr (Char.code (Bytes.get raw p) lxor x));
+          spew path (Bytes.to_string raw);
+          match Durable.Spool.read path with
+          | Error _ -> true
+          | Ok (blocks, _complete) -> List.length blocks <= List.length payloads
+          | exception e ->
+              QCheck2.Test.fail_reportf "spool read raised %s" (Printexc.to_string e)))
+
+let prop_spool_truncation_total =
+  QCheck2.Test.make ~name:"spool read total under truncation" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 6) (string_size (int_range 0 200))) small_nat)
+    (fun (payloads, cut) ->
+      with_temp_file (fun path ->
+          let w = Durable.Spool.create path in
+          List.iter (Durable.Spool.add_block w) payloads;
+          Durable.Spool.close w;
+          let raw = slurp path in
+          let keep = cut mod String.length raw in
+          spew path (String.sub raw 0 keep);
+          match Durable.Spool.read path with
+          | Error _ -> true
+          | Ok (blocks, complete) ->
+              (* A truncated spool can never read back complete with every
+                 block intact unless nothing after the header was lost. *)
+              List.length blocks <= List.length payloads
+              && ((not complete) || List.length blocks < List.length payloads
+                 || keep >= String.length raw)
+          | exception e ->
+              QCheck2.Test.fail_reportf "spool read raised %s" (Printexc.to_string e)))
+
 (* --- Campaign archive damage ------------------------------------------------- *)
 
 let small_campaign =
@@ -706,6 +798,13 @@ let () =
             test_atomic_failed_write_leaves_no_trace;
         ] );
       qsuite "atomic-io-properties" [ prop_atomic_roundtrip ];
+      qsuite "corruption-corpus"
+        [
+          prop_atomic_flip_detected;
+          prop_atomic_truncation_detected;
+          prop_spool_flip_total;
+          prop_spool_truncation_total;
+        ];
       ( "campaign-archive",
         [ Alcotest.test_case "load rejects damage" `Slow test_campaign_load_rejects_damage ] );
       ( "checkpoint",

@@ -238,6 +238,135 @@ let test_faulty_parallel_campaign_worker_invariant () =
   Alcotest.(check bool) "default profile lost probes" true
     (Faults.Funnel.lost (Faults.Funnel.totals f_one) > 0)
 
+(* --- Byzantine faults ------------------------------------------------------------------ *)
+
+let test_byzantine_classify_deterministic () =
+  let keys = List.init 400 (Printf.sprintf "byz-key-%d") in
+  let verdicts = List.map (fun key -> Faults.Byzantine.classify ~key) keys in
+  Alcotest.(check bool) "pure function of key" true
+    (List.for_all2
+       (fun key v -> Faults.Byzantine.classify ~key = v)
+       keys verdicts);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "always a byzantine cause" true (Faults.Fault.is_byzantine v))
+    verdicts;
+  (* Both classes must occur: mutations that break framing and mutations
+     that survive the parsers are both realistic, and the classifier is
+     only honest if the real codecs see both. *)
+  let malformed = List.filter (( = ) Faults.Fault.Malformed_response) verdicts in
+  Alcotest.(check bool) "some mutations break parsing" true (malformed <> []);
+  Alcotest.(check bool) "some mutations parse as nonsense" true
+    (List.length malformed < List.length verdicts)
+
+let test_byzantine_mutate_bounded () =
+  Array.iter
+    (fun (name, _, template) ->
+      List.iter
+        (fun i ->
+          let key = Printf.sprintf "mutate-%s-%d" name i in
+          let m = Faults.Byzantine.mutate ~key template in
+          Alcotest.(check string)
+            "mutation is a pure function of key" m
+            (Faults.Byzantine.mutate ~key template);
+          Alcotest.(check bool) "output bounded by input + 32" true
+            (String.length m <= String.length template + 32))
+        [ 0; 1; 2; 3; 4 ])
+    Faults.Byzantine.templates
+
+let test_byzantine_profile_campaign () =
+  (* The byzantine profile plays by the same rules as every other one:
+     worker-count invariant, and surviving probes byte-identical to the
+     clean run. New loss causes must actually show up in the funnel. *)
+  let days = 2 in
+  let config = campaign_config "byzantine-campaign-test" in
+  let run jobs =
+    let w = Simnet.World.create ~config () in
+    let injector = Faults.Injector.create ~profile:Faults.Profile.byzantine w in
+    let funnel = Faults.Funnel.create () in
+    let t =
+      Scanner.Parallel_campaign.run ~jobs ~injector ~retry:Faults.Retry.default ~funnel w
+        ~days ()
+    in
+    (t, funnel)
+  in
+  let one, f_one = run 1 in
+  let four, f_four = run 4 in
+  Alcotest.(check bool) "1- and 4-worker byzantine series identical" true
+    (one.Scanner.Daily_scan.series = four.Scanner.Daily_scan.series);
+  Alcotest.(check bool) "funnel totals worker-invariant" true
+    (Faults.Funnel.totals f_one = Faults.Funnel.totals f_four);
+  let losses = (Faults.Funnel.totals f_one).Faults.Funnel.t_losses in
+  Alcotest.(check bool) "byzantine causes recorded" true
+    (List.exists (fun (f, n) -> Faults.Fault.is_byzantine f && n > 0) losses);
+  (* Surviving observations must match a clean run byte-for-byte. *)
+  let clean = Scanner.Daily_scan.run (Simnet.World.create ~config ()) ~days () in
+  let index (scan : Scanner.Daily_scan.t) =
+    let tbl = Hashtbl.create 4096 in
+    Array.iter
+      (fun (ds : Scanner.Daily_scan.domain_series) ->
+        Array.iter
+          (fun (r : Scanner.Daily_scan.day_record) ->
+            Hashtbl.replace tbl (ds.Scanner.Daily_scan.domain, r.Scanner.Daily_scan.day) r)
+          ds.Scanner.Daily_scan.days)
+      scan.Scanner.Daily_scan.series;
+    tbl
+  in
+  let clean_ix = index clean in
+  let mismatched = ref 0 and checked = ref 0 in
+  Hashtbl.iter
+    (fun key (r : Scanner.Daily_scan.day_record) ->
+      if r.Scanner.Daily_scan.default_ok && r.Scanner.Daily_scan.dhe_ok then (
+        incr checked;
+        match Hashtbl.find_opt clean_ix key with
+        | Some c when c = r -> ()
+        | _ -> incr mismatched))
+    (index one);
+  Alcotest.(check bool) "some probes survived byzantine peers" true (!checked > 0);
+  Alcotest.(check int) "survivors identical to clean run" 0 !mismatched
+
+(* --- Circuit breaker ------------------------------------------------------------------- *)
+
+let test_breaker_opens_and_cools () =
+  let b = Faults.Breaker.create ~threshold:3 ~cooldown:2 () in
+  let op = "operator-a" in
+  Alcotest.(check int) "closed breaker allows full retries" 5
+    (Faults.Breaker.attempts_allowed b ~operator:op ~max_attempts:5);
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.Connect_timeout);
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.Tcp_reset);
+  Alcotest.(check bool) "below threshold stays closed" false
+    (Faults.Breaker.is_open b ~operator:op);
+  Faults.Breaker.record b ~operator:op (Error (Faults.Fault.Malformed_response));
+  Alcotest.(check bool) "threshold opens the breaker" true
+    (Faults.Breaker.is_open b ~operator:op);
+  (* While open, probes get exactly one attempt for [cooldown] probes. *)
+  Alcotest.(check int) "open breaker caps to one attempt" 1
+    (Faults.Breaker.attempts_allowed b ~operator:op ~max_attempts:5);
+  Alcotest.(check int) "still open for the second probe" 1
+    (Faults.Breaker.attempts_allowed b ~operator:op ~max_attempts:5);
+  Alcotest.(check int) "cooldown expired, retries restored" 5
+    (Faults.Breaker.attempts_allowed b ~operator:op ~max_attempts:5);
+  (* A success closes everything. *)
+  Faults.Breaker.record b ~operator:op (Ok ());
+  Alcotest.(check bool) "success resets" false (Faults.Breaker.is_open b ~operator:op);
+  (* Operators are independent. *)
+  Alcotest.(check int) "other operators unaffected" 5
+    (Faults.Breaker.attempts_allowed b ~operator:"operator-b" ~max_attempts:5)
+
+let test_breaker_ignores_world_errors () =
+  (* Ground-truth failures (NXDOMAIN, no TLS) say nothing about operator
+     health; only injected faults count toward the trip threshold. *)
+  let b = Faults.Breaker.create ~threshold:2 ~cooldown:5 () in
+  let op = "operator-c" in
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.Connect_timeout);
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.No_such_domain);
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.Connect_timeout);
+  Alcotest.(check bool) "world errors reset the streak" false
+    (Faults.Breaker.is_open b ~operator:op);
+  Faults.Breaker.record b ~operator:op (Error Faults.Fault.Protocol_violation);
+  Alcotest.(check bool) "two consecutive injected faults trip it" true
+    (Faults.Breaker.is_open b ~operator:op)
+
 (* --- Funnel arithmetic ---------------------------------------------------------------- *)
 
 let test_funnel_accounting () =
@@ -312,6 +441,28 @@ let test_legacy_csv_rows () =
   | Some c -> Alcotest.(check bool) "fault fields round-trip" true (c = faulted)
   | None -> Alcotest.fail "faulted row did not parse"
 
+let test_forward_compat_unknown_cause () =
+  (* An archive written by a future build with a cause this build has
+     never heard of must still load — as [Unknown] — rather than
+     poisoning the whole campaign file. *)
+  let faulted =
+    Scanner.Observation.failed_conn ~failure:Faults.Fault.Tcp_reset ~attempts:2 ~time:5
+      ~domain:"future.example" ()
+  in
+  let row = Scanner.Observation.to_csv_row faulted in
+  let futuristic =
+    String.concat ","
+      (List.mapi
+         (fun i field -> if i = 12 then "quantum-desync" else field)
+         (String.split_on_char ',' row))
+  in
+  match Scanner.Observation.of_csv_row futuristic with
+  | Some c ->
+      Alcotest.(check bool) "unknown cause maps to Unknown" true
+        (c.Scanner.Observation.failure = Some Faults.Fault.Unknown);
+      Alcotest.(check int) "rest of the row intact" 2 c.Scanner.Observation.attempts
+  | None -> Alcotest.fail "row with unknown cause token rejected"
+
 let test_fault_token_roundtrip () =
   List.iter
     (fun f ->
@@ -344,10 +495,27 @@ let () =
           Alcotest.test_case "faulty parallel worker-invariant" `Quick
             test_faulty_parallel_campaign_worker_invariant;
         ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "classify deterministic, both classes" `Quick
+            test_byzantine_classify_deterministic;
+          Alcotest.test_case "mutate pure and bounded" `Quick test_byzantine_mutate_bounded;
+          Alcotest.test_case "byzantine campaign invariants" `Quick
+            test_byzantine_profile_campaign;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "opens at threshold, cools down" `Quick
+            test_breaker_opens_and_cools;
+          Alcotest.test_case "world errors don't trip it" `Quick
+            test_breaker_ignores_world_errors;
+        ] );
       ( "funnel", [ Alcotest.test_case "accounting" `Quick test_funnel_accounting ] );
       ( "csv",
         [
           Alcotest.test_case "legacy rows" `Quick test_legacy_csv_rows;
+          Alcotest.test_case "unknown cause forward-compat" `Quick
+            test_forward_compat_unknown_cause;
           Alcotest.test_case "fault tokens" `Quick test_fault_token_roundtrip;
         ] );
     ]

@@ -159,6 +159,58 @@ let prop_server_survives_garbage_cke =
           | exception e ->
               QCheck2.Test.fail_reportf "server raised %s" (Printexc.to_string e)))
 
+(* --- The structure-aware wire fuzzer (Faults.Fuzz) -------------------- *)
+
+(* A scaled-down run of the CI fuzz gate: every drive must end in a
+   typed verdict with bounded allocation. The full 100k-input run lives
+   in `tlsharm fuzz`; this keeps the invariant under `dune runtest`. *)
+let test_fuzz_run_clean () =
+  let r = Faults.Fuzz.run ~seed:"test-fuzz" ~count:3000 () in
+  Alcotest.(check int) "executed all drives" 3000 r.Faults.Fuzz.executed;
+  Alcotest.(check int)
+    "every drive got a verdict" 3000
+    (r.Faults.Fuzz.parsed + r.Faults.Fuzz.rejected);
+  (match r.Faults.Fuzz.escapes with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "escaped input:\n%s" (Faults.Fuzz.render_escape e));
+  Alcotest.(check bool)
+    "both verdicts occur" true
+    (r.Faults.Fuzz.parsed > 0 && r.Faults.Fuzz.rejected > 0);
+  List.iter
+    (fun (name, n) ->
+      if n = 0 then Alcotest.failf "target %s never driven" name)
+    r.Faults.Fuzz.by_target
+
+let test_fuzz_deterministic () =
+  let a = Faults.Fuzz.run ~seed:"det-check" ~count:400 () in
+  let b = Faults.Fuzz.run ~seed:"det-check" ~count:400 () in
+  Alcotest.(check int) "parsed stable" a.Faults.Fuzz.parsed b.Faults.Fuzz.parsed;
+  Alcotest.(check (list (pair string int)))
+    "per-target counts stable" a.Faults.Fuzz.by_target b.Faults.Fuzz.by_target;
+  let c = Faults.Fuzz.run ~seed:"det-check-2" ~count:400 () in
+  Alcotest.(check bool)
+    "seed changes the schedule" true
+    (c.Faults.Fuzz.parsed <> a.Faults.Fuzz.parsed
+    || c.Faults.Fuzz.by_target <> a.Faults.Fuzz.by_target)
+
+let test_hex_dump_roundtrippable () =
+  let s = "\x00\x01ab\xff\x7f" in
+  let dump = Faults.Fuzz.hex_dump s in
+  (* Offset, every byte in hex, printable ASCII gutter. *)
+  Alcotest.(check bool) "has offset" true (String.length dump > 0);
+  List.iter
+    (fun hexpair ->
+      if
+        not
+          (let re = hexpair in
+           let rec find i =
+             i + String.length re <= String.length dump
+             && (String.sub dump i (String.length re) = re || find (i + 1))
+           in
+           find 0)
+      then Alcotest.failf "hex dump missing %s:\n%s" hexpair dump)
+    [ "00"; "01"; "61"; "62"; "ff"; "7f" ]
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -182,4 +234,11 @@ let () =
           prop_server_survives_mutated_hello;
           prop_server_survives_garbage_cke;
         ];
+      ( "wire-fuzzer",
+        [
+          Alcotest.test_case "no escapes on a 3k-drive run" `Quick test_fuzz_run_clean;
+          Alcotest.test_case "same seed, same report" `Quick test_fuzz_deterministic;
+          Alcotest.test_case "hex dump covers every byte" `Quick
+            test_hex_dump_roundtrippable;
+        ] );
     ]

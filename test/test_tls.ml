@@ -779,6 +779,106 @@ let prop_extension_roundtrip =
       let decoded = Wire.Reader.parse bytes Tls.Extension.read_block in
       decoded = exts)
 
+(* --- Hostile wire input ------------------------------------------------------------------- *)
+
+let test_oversized_session_id_rejected () =
+  let sh id =
+    Msg.to_bytes
+      (Msg.Server_hello
+         {
+           sh_version = T.TLS_1_2;
+           sh_random = String.make 32 'r';
+           sh_session_id = id;
+           sh_cipher_suite = T.ECDHE_ECDSA_AES128_SHA256;
+           sh_extensions = [];
+         })
+  in
+  (match Msg.of_bytes (sh (String.make 32 'x')) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "32-byte session ID rejected: %s" e);
+  match Msg.of_bytes (sh (String.make 33 'x')) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "33-byte session ID accepted"
+
+let test_hostile_session_blob_rejected () =
+  (* A session blob with a 33-byte ID: the length check fires before any
+     downstream field is interpreted. *)
+  (match Tls.Session.of_bytes ("\x21" ^ String.make 33 'i') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized session ID in blob accepted");
+  (* And one whose master secret is not the TLS-mandated 48 bytes. *)
+  match Tls.Session.of_bytes ("\x00" ^ "\x03abc") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3-byte master secret accepted"
+
+let test_hostile_ske_params_rejected () =
+  (* Peer-supplied DHE parameters are attacker-controlled bytes; every
+     hostile shape must come back as a typed [Error], never an exception
+     from the bignum layer, and never a completed key exchange. *)
+  let client =
+    Tls.Client.create
+      ~config:
+        {
+          Tls.Config.cl_env = env;
+          offer_suites = T.all_cipher_suites;
+          offer_ticket = false;
+          root_store;
+          check_certs = false;
+          evaluate_trust = false;
+          verify_ske = false;
+        }
+      ~rng:(Crypto.Drbg.create ~seed:"hostile-ske") ()
+  in
+  let cert, _ = issue_leaf () in
+  let flight ~dh_p ~dh_g ~dh_ys =
+    [
+      Msg.Server_hello
+        {
+          sh_version = T.TLS_1_2;
+          sh_random = String.make 32 'r';
+          sh_session_id = "";
+          sh_cipher_suite = T.DHE_ECDSA_AES128_SHA256;
+          sh_extensions = [];
+        };
+      Msg.Certificate [ Tls.Cert.to_bytes cert ];
+      Msg.Server_key_exchange
+        { ske_params = Msg.Ske_dhe { dh_p; dh_g; dh_ys }; ske_signature = "sig" };
+      Msg.Server_hello_done;
+    ]
+  in
+  let drive ~dh_p ~dh_g ~dh_ys =
+    let _hello, state =
+      Tls.Client.hello client ~now:1000 ~hostname:"example.com" ~offer:Tls.Client.Fresh
+    in
+    match Tls.Client.handle_server_flight state (flight ~dh_p ~dh_g ~dh_ys) with
+    | Ok _ -> `Completed
+    | Error _ -> `Rejected
+    | exception e -> Alcotest.failf "engine raised %s" (Printexc.to_string e)
+  in
+  (* Control: the environment's own group must still negotiate. *)
+  let group = env.Tls.Config.dh_group in
+  let p = Crypto.Bignum.to_bytes_be (Crypto.Dh.group_p group) in
+  let g = Crypto.Bignum.to_bytes_be (Crypto.Dh.group_g group) in
+  (match drive ~dh_p:p ~dh_g:g ~dh_ys:"\x02\xab\xcd\xef" with
+  | `Completed -> ()
+  | `Rejected -> Alcotest.fail "legitimate DHE params rejected");
+  let hostile =
+    [
+      ("even modulus", String.make 256 '\xfe', "\x02");
+      ("tiny modulus", "\x05", "\x02");
+      ("huge modulus", String.make 1025 '\xff', "\x02");
+      ("generator one", String.make 255 '\xff', "\x01");
+      ("generator = p", String.make 255 '\xff', String.make 255 '\xff');
+      ("zero modulus", "\x00", "\x02");
+    ]
+  in
+  List.iter
+    (fun (what, dh_p, dh_g) ->
+      match drive ~dh_p ~dh_g ~dh_ys:"\x02" with
+      | `Rejected -> ()
+      | `Completed -> Alcotest.failf "%s completed the key exchange" what)
+    hostile
+
 (* --- Tickets: tampering and theft --------------------------------------------------------- *)
 
 let test_ticket_tamper_rejected () =
@@ -1085,6 +1185,12 @@ let () =
           Alcotest.test_case "garbage rejection" `Quick test_codec_rejects_garbage;
         ] );
       qsuite "codec-properties" [ prop_extension_roundtrip ];
+      ( "hostile-wire",
+        [
+          Alcotest.test_case "oversized session ID" `Quick test_oversized_session_id_rejected;
+          Alcotest.test_case "hostile session blob" `Quick test_hostile_session_blob_rejected;
+          Alcotest.test_case "hostile SKE params" `Quick test_hostile_ske_params_rejected;
+        ] );
       ( "tickets",
         [
           Alcotest.test_case "tamper rejected" `Quick test_ticket_tamper_rejected;
