@@ -414,6 +414,31 @@ let check_baseline () =
            survivors byte-identical.\n"
           overhead (num "byzantine_losses")
   in
+  (* The cross-vantage gate: region scans are independent, so the
+     parallel rows must be byte-identical to the serial ones. *)
+  let regions_gate =
+    match Json_io.member "regions" current_json with
+    | None ->
+        Printf.sprintf
+          "No \"regions\" section in %s; run `bench regions` to gate the cross-vantage scan.\n"
+          current_path
+    | Some c ->
+        let num key =
+          match Option.bind (Json_io.member key c) Json_io.to_float with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "%s: regions section lacks %S" current_path key)
+        in
+        let deterministic =
+          match Json_io.member "deterministic" c with
+          | Some (Json_io.Bool b) -> b
+          | _ -> fail (current_path ^ ": regions section lacks \"deterministic\"")
+        in
+        if not deterministic then
+          fail "regions: serial and parallel cross-vantage rows differ (jobs-invariance broken)";
+        Printf.sprintf
+          "Regions: %.0f rows from %.0f vantages, %.0f rows/s, jobs-invariant.\n" (num "rows")
+          (num "n_regions") (num "rows_per_sec")
+  in
   let rows =
     List.map
       (fun (name, base_ops) ->
@@ -469,7 +494,7 @@ let check_baseline () =
   ^ "\n"
   ^ Analysis.Report.table ~headers:[ "Kernel"; "Baseline ops/s"; "Current ops/s"; "Ratio" ] ~rows
   ^ "\n\nAll kernels within 2x of baseline.\n" ^ speedup_gates ^ campaign_gate ^ traffic_gate
-  ^ faults_gate
+  ^ faults_gate ^ regions_gate
 
 (* --- Microbenchmarks ----------------------------------------------------------- *)
 
@@ -1117,6 +1142,71 @@ byzantine campaign %.2f s (%.2fx of clean, %.0f probes/s vs %.0f clean); %d surv
       (if !byz_mismatches = 0 then "" else " (BUG: byzantine injection perturbed surviving probes)")
       byz_lost_byzantine
 
+(* --- Cross-vantage bench --------------------------------------------------------
+
+   The cross-regional scan: the same domain-days probed from N vantage
+   regions, once serially and once with one worker per region. Region
+   scans are independent by construction, so the parallel rows must be
+   byte-identical to the serial ones — that invariance is what
+   check-baseline gates. *)
+let regions_bench () =
+  let n_domains = env_int "TLSHARM_DOMAINS" 1500 in
+  let days = env_int "TLSHARM_DAYS" 1 in
+  let n_regions = env_int "TLSHARM_REGIONS" 2 in
+  let cfg =
+    {
+      Scanner.Cross_vantage.base =
+        {
+          Simnet.World.default_config with
+          Simnet.World.n_domains;
+          seed = Option.value (Sys.getenv_opt "TLSHARM_SEED") ~default:"tlsharm";
+        };
+      regions = Simnet.Region.take n_regions;
+      days;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let one, t_one = time (fun () -> Scanner.Cross_vantage.run ~jobs:1 cfg) in
+  let par, t_par = time (fun () -> Scanner.Cross_vantage.run ~jobs:n_regions cfg) in
+  let rows_one = Scanner.Cross_vantage.rows one in
+  let deterministic = rows_one = Scanner.Cross_vantage.rows par in
+  let n_rows = List.length rows_one in
+  update_bench_json "regions"
+    (Json_io.Obj
+       [
+         ("n_domains", Json_io.Num (float_of_int n_domains));
+         ("days", Json_io.Num (float_of_int days));
+         ("n_regions", Json_io.Num (float_of_int n_regions));
+         ("rows", Json_io.Num (float_of_int n_rows));
+         ("one_worker_s", Json_io.Num t_one);
+         ("parallel_s", Json_io.Num t_par);
+         ("rows_per_sec", Json_io.Num (float_of_int n_rows /. t_one));
+         ("wall_speedup", Json_io.Num (t_one /. t_par));
+         ("deterministic", Json_io.Bool deterministic);
+       ]);
+  Analysis.Report.section "Cross-vantage scan (wall-clock)"
+  ^ "\n"
+  ^ Analysis.Report.table
+      ~headers:[ "Runner"; "Wall-clock"; "Notes" ]
+      ~rows:
+        [
+          [
+            "Cross_vantage.run ~jobs:1";
+            Printf.sprintf "%.2f s" t_one;
+            Printf.sprintf "%d regions, %d rows" n_regions n_rows;
+          ];
+          [
+            Printf.sprintf "Cross_vantage.run ~jobs:%d" n_regions;
+            Printf.sprintf "%.2f s" t_par;
+            Printf.sprintf "%.2fx wall vs 1 worker" (t_one /. t_par);
+          ];
+        ]
+  ^ Printf.sprintf "\n\njobs-invariant: %b\n" deterministic
+
 (* --- Driver ------------------------------------------------------------------------- *)
 
 let ablations () = Tlsharm.Mitigations.report (Lazy.force study)
@@ -1133,6 +1223,7 @@ let named : (string * (unit -> string)) list =
       ("traffic", traffic_bench);
       ("phases", phases_bench);
       ("faults", faults_bench);
+      ("regions", regions_bench);
       ("check-baseline", check_baseline);
     ]
 

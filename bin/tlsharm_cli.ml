@@ -402,10 +402,47 @@ let campaign_manifest ~domains ~days ~seed ~jobs ~profile ~(retry : Faults.Retry
     ("stream_out", Option.value stream_out ~default:"");
   ]
 
-let campaign domains days seed jobs out fault_profile retries deadline checkpoint_dir
+(* The cross-vantage path of [campaign --regions N]: one world per
+   region, the same domain-days probed from each, archived as a single
+   observation CSV with a region column. Region scans are independent,
+   so the archive is byte-identical at any --jobs. *)
+let run_cross_vantage ~domains ~days ~seed ~jobs ~regions ~out () =
+  let cv =
+    Scanner.Cross_vantage.run ~jobs
+      {
+        Scanner.Cross_vantage.base = world_config ~domains ~seed;
+        regions = Simnet.Region.take regions;
+        days;
+      }
+  in
+  Scanner.Cross_vantage.save cv out;
+  Printf.printf "wrote %d-day cross-vantage scan from %d regions (%s) to %s (%d rows)%s\n" days
+    regions
+    (String.concat " " (Scanner.Cross_vantage.regions cv))
+    out
+    (List.length (Scanner.Cross_vantage.rows cv))
+    (if jobs > 1 then Printf.sprintf " (%d jobs)" jobs else "");
+  `Ok ()
+
+let campaign domains days seed jobs regions out fault_profile retries deadline checkpoint_dir
     stream_out metrics_out trace_out =
   match validate_sizes ~domains ~days ~jobs with
   | Error e -> `Error (false, e)
+  | Ok () when regions < 1 || regions > List.length Simnet.Region.all ->
+      `Error
+        ( false,
+          Printf.sprintf "--regions must be between 1 and %d (got %d)"
+            (List.length Simnet.Region.all) regions )
+  | Ok () when regions > 1 ->
+      if
+        checkpoint_dir <> None || stream_out <> None || metrics_out <> None || trace_out <> None
+        || fault_profile <> "none"
+      then
+        `Error
+          ( false,
+            "--regions > 1 runs the cross-vantage scan, which does not support \
+             --checkpoint-dir, --stream-out, --metrics-out, --trace-out or --fault-profile" )
+      else guard (run_cross_vantage ~domains ~days ~seed ~jobs ~regions ~out)
   | Ok () -> (
   match fault_setup fault_profile retries deadline with
   | Error e -> `Error (false, e)
@@ -471,6 +508,20 @@ let checkpoint_dir_arg =
            campaign from the last valid snapshot — the final archive is byte-identical to an \
            uninterrupted run.")
 
+let regions_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "regions" ] ~docv:"N"
+        ~doc:
+          (Printf.sprintf
+             "With N > 1, probe the same domain-days from the first N of the %d modeled vantage \
+              regions (%s) instead of running the single-vantage campaign, and archive the \
+              per-region observation rows (with a region column) as one CSV. Regions are \
+              independent, so the archive is byte-identical at any --jobs."
+             (List.length Simnet.Region.all)
+             Simnet.Region.names))
+
 let campaign_cmd =
   let out =
     Arg.(
@@ -482,9 +533,9 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a daily longitudinal campaign and archive it as CSV.")
     Term.(
       ret
-        (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ out $ fault_profile_arg
-       $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg $ stream_out_arg $ metrics_out_arg
-       $ trace_out_arg))
+        (const campaign $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ regions_arg $ out
+       $ fault_profile_arg $ retries_arg $ probe_deadline_arg $ checkpoint_dir_arg
+       $ stream_out_arg $ metrics_out_arg $ trace_out_arg))
 
 (* --- resume -------------------------------------------------------------------------------- *)
 
@@ -638,6 +689,59 @@ let analyze_cmd =
           secret-lifetime spans for campaigns, the tracking-exposure table for traffic \
           archives.")
     Term.(ret (const analyze $ path))
+
+(* --- vuln-report ----------------------------------------------------------------------- *)
+
+let vuln_report domains days seed jobs verbose fault_profile retries deadline cross =
+  match validate_sizes ~domains ~days ~jobs with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
+      match fault_setup fault_profile retries deadline with
+      | Error e -> `Error (false, e)
+      | Ok (profile, retry) -> (
+          guard @@ fun () ->
+          let study =
+            Tlsharm.Study.create
+              ~config:
+                (study_config ~domains ~days ~seed ~jobs ~verbose ~fault_profile:profile ~retry)
+              ()
+          in
+          print_string (Tlsharm.Study.vuln_report study);
+          print_newline ();
+          match cross with
+          | None -> `Ok ()
+          | Some path -> (
+              match Scanner.Cross_vantage.load path with
+              | Error e -> `Error (false, e)
+              | Ok rows ->
+                  print_string
+                    (Analysis.Vuln_report.render_inconsistency
+                       (Analysis.Vuln_report.inconsistency ~world:(Tlsharm.Study.world study)
+                          ~rows));
+                  print_newline ();
+                  `Ok ())))
+
+let vuln_report_cmd =
+  let cross =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cross-vantage" ] ~docv:"FILE"
+          ~doc:
+            "Also render the cross-regional inconsistency table from an observation CSV written \
+             by $(b,campaign --regions) N (HT weights and operator attribution come from the \
+             same world the report runs against).")
+  in
+  Cmd.v
+    (Cmd.info "vuln-report"
+       ~doc:
+         "Rank operators by combined harm — HT-weighted vulnerability-window days scaled by \
+          misconfiguration severity — and optionally the cross-regional inconsistency table \
+          from a --regions archive.")
+    Term.(
+      ret
+        (const vuln_report $ domains_arg $ days_arg $ seed_arg $ jobs_arg $ verbose_arg
+       $ fault_profile_arg $ retries_arg $ probe_deadline_arg $ cross))
 
 (* --- metrics-report -------------------------------------------------------------------- *)
 
@@ -943,14 +1047,16 @@ let traffic users days domains seed jobs shard_users policy ticket_lifetime page
                     Durable.Atomic_io.write path (Obs.Recorder.trace_json_string rec_);
                     Printf.printf "wrote traffic trace spans to %s\n" path
                 | _ -> ());
+                (* A report-assembly failure must surface as a one-line
+                   CLI error, not as a raw exception message: routing it
+                   through [failwith] happened to be caught by [guard]
+                   but printed the bare payload with no context. *)
                 let report =
                   match sink with
-                  | Some s -> (
-                      match
-                        Analysis.Tracking_report.of_sink ~dir:(Traffic.Traffic_sink.dir s)
-                      with
-                      | Ok t -> t
-                      | Error e -> failwith e)
+                  | Some s ->
+                      Result.map_error
+                        (fun e -> "traffic archive: " ^ e)
+                        (Analysis.Tracking_report.of_sink ~dir:(Traffic.Traffic_sink.dir s))
                   | None ->
                       let meta =
                         {
@@ -961,18 +1067,24 @@ let traffic users days domains seed jobs shard_users policy ticket_lifetime page
                           days;
                         }
                       in
-                      Analysis.Tracking_report.of_rows ~meta ~hosts:r.Traffic.Population.hosts
-                        (List.concat (Array.to_list r.Traffic.Population.rows))
+                      Ok
+                        (Analysis.Tracking_report.of_rows ~meta
+                           ~hosts:r.Traffic.Population.hosts
+                           (List.concat (Array.to_list r.Traffic.Population.rows)))
                 in
-                Printf.printf "simulated %d users over %d days (%d shards%s): %d connections%s\n\n"
-                  users days r.Traffic.Population.n_shards
-                  (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "")
-                  r.Traffic.Population.total_rows
-                  (match sink with
-                  | Some s -> " streamed to " ^ Traffic.Traffic_sink.dir s
-                  | None -> "");
-                print_string (Analysis.Tracking_report.render report);
-                `Ok ()))
+                match report with
+                | Error e -> `Error (false, e)
+                | Ok report ->
+                    Printf.printf
+                      "simulated %d users over %d days (%d shards%s): %d connections%s\n\n" users
+                      days r.Traffic.Population.n_shards
+                      (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "")
+                      r.Traffic.Population.total_rows
+                      (match sink with
+                      | Some s -> " streamed to " ^ Traffic.Traffic_sink.dir s
+                      | None -> "");
+                    print_string (Analysis.Tracking_report.render report);
+                    `Ok ()))
 
 let traffic_cmd =
   let users =
@@ -1120,6 +1232,7 @@ let () =
             traffic_cmd;
             resume_cmd;
             analyze_cmd;
+            vuln_report_cmd;
             metrics_report_cmd;
             posture_cmd;
             attack_cmd;

@@ -1,0 +1,207 @@
+(* Operator-level harm ranking and cross-regional inconsistency.
+
+   The paper quantifies per-domain vulnerability windows; this report
+   rolls them up to the operators who actually hold the reused secrets.
+   An operator's harm score combines how long its customers' recorded
+   traffic stays decryptable (the Section 6 window, in days, HT-weighted
+   across its domains) with how badly the operator is misconfigured
+   (the {!Simnet.Profile.misconfig} severity scale): a shared-hosting
+   provider with long STEK lifetimes *and* export-grade DH concentrates
+   far more risk than either signal alone suggests.
+
+   The inconsistency table mirrors Alashwali et al.: probing the same
+   domains from several vantage points and comparing handshake
+   fingerprints (negotiated suite + key-exchange value sizes) reveals
+   operators whose regional deployments disagree about security
+   configuration. *)
+
+(* --- Operator harm ranking ------------------------------------------------- *)
+
+type operator_harm = {
+  operator : string;
+  domains : float; (* HT-weighted domain count *)
+  window_days : float; (* weighted mean vulnerability window, days *)
+  severity : float; (* weighted mean misconfiguration severity *)
+  worst_misconfig : string; (* label of the worst misconfig among its domains *)
+  harm : float; (* sum of weight * window_days * (1 + severity) *)
+}
+
+type harm_acc = {
+  mutable a_weight : float;
+  mutable a_window : float; (* weight-weighted window-day sum *)
+  mutable a_severity : float; (* weight-weighted severity sum *)
+  mutable a_worst : int;
+  mutable a_worst_label : string;
+  mutable a_harm : float;
+}
+
+let seconds_per_day = 86_400.0
+
+let rank_operators ~world ~(windows : Vuln_window.window list) =
+  let by_domain = Hashtbl.create 4096 in
+  List.iter (fun (w : Vuln_window.window) -> Hashtbl.replace by_domain w.domain w) windows;
+  let accs : (string, harm_acc) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      if Simnet.World.domain_has_https d then begin
+        let name = Simnet.World.domain_name d in
+        let weight = Simnet.World.domain_weight d in
+        let misconfig = Simnet.World.domain_misconfig d in
+        let severity = float_of_int (Simnet.Profile.misconfig_severity misconfig) in
+        let window_days =
+          match Hashtbl.find_opt by_domain name with
+          | None -> 0.0
+          | Some w -> float_of_int w.Vuln_window.seconds /. seconds_per_day
+        in
+        let op = Simnet.World.domain_operator d in
+        let acc =
+          match Hashtbl.find_opt accs op with
+          | Some a -> a
+          | None ->
+              let a =
+                {
+                  a_weight = 0.0;
+                  a_window = 0.0;
+                  a_severity = 0.0;
+                  a_worst = -1;
+                  a_worst_label = "clean";
+                  a_harm = 0.0;
+                }
+              in
+              Hashtbl.replace accs op a;
+              a
+        in
+        acc.a_weight <- acc.a_weight +. weight;
+        acc.a_window <- acc.a_window +. (weight *. window_days);
+        acc.a_severity <- acc.a_severity +. (weight *. severity);
+        let sev_int = Simnet.Profile.misconfig_severity misconfig in
+        if sev_int > acc.a_worst then begin
+          acc.a_worst <- sev_int;
+          acc.a_worst_label <- Simnet.Profile.misconfig_label misconfig
+        end;
+        (* The combined-harm model: every represented domain contributes
+           its window scaled by (1 + severity), so a clean operator still
+           ranks by pure shortcut exposure while a misconfigured one is
+           amplified. *)
+        acc.a_harm <- acc.a_harm +. (weight *. window_days *. (1.0 +. severity))
+      end)
+    (Simnet.World.domains world);
+  Hashtbl.fold
+    (fun operator a acc ->
+      {
+        operator;
+        domains = a.a_weight;
+        window_days = (if a.a_weight > 0.0 then a.a_window /. a.a_weight else 0.0);
+        severity = (if a.a_weight > 0.0 then a.a_severity /. a.a_weight else 0.0);
+        worst_misconfig = a.a_worst_label;
+        harm = a.a_harm;
+      }
+      :: acc)
+    accs []
+  |> List.sort (fun a b ->
+         (* Highest harm first; operator name breaks ties so the table
+            is deterministic. *)
+         match compare b.harm a.harm with 0 -> compare a.operator b.operator | c -> c)
+
+let render_harm ?(limit = 15) harms =
+  let rows =
+    List.filteri (fun i _ -> i < limit) harms
+    |> List.map (fun h ->
+           [
+             h.operator;
+             Report.fmt_count h.domains;
+             Report.fmt_float ~digits:1 h.window_days;
+             Report.fmt_float ~digits:2 h.severity;
+             h.worst_misconfig;
+             Report.fmt_count h.harm;
+           ])
+  in
+  Report.section "Operator harm ranking (window-days x (1 + misconfig severity), HT-weighted)"
+  ^ "\n"
+  ^ Report.table
+      ~headers:[ "operator"; "domains"; "avg window (d)"; "severity"; "worst misconfig"; "harm" ]
+      ~rows
+
+(* --- Cross-regional inconsistency ------------------------------------------ *)
+
+type inconsistency = {
+  regions : string list; (* regions observed, in first-appearance order *)
+  population : float; (* weighted domains observed OK from >= 2 regions *)
+  inconsistent : float; (* weighted domains whose fingerprints differ *)
+  by_operator : (string * float) list; (* weighted inconsistent share, desc *)
+}
+
+(* A handshake fingerprint: the negotiated suite plus the sizes of the
+   key-exchange values. Weak-DH downgrades change the DHE value length,
+   static-only menus change the suite, stale preference orders change
+   which suite wins — all visible without any ground-truth access, as a
+   real cross-regional scanner would see them. *)
+let fingerprint (c : Scanner.Observation.conn) =
+  Printf.sprintf "%s:%d:%d"
+    (match c.Scanner.Observation.cipher with
+    | None -> "-"
+    | Some s -> string_of_int (Tls.Types.suite_to_int s))
+    (match c.Scanner.Observation.dhe_value with None -> 0 | Some v -> String.length v)
+    (match c.Scanner.Observation.ecdhe_value with None -> 0 | Some v -> String.length v)
+
+let inconsistency ~world ~(rows : Scanner.Observation.conn list) =
+  let regions = ref [] in
+  (* (domain, region) -> sorted distinct fingerprints *)
+  let fps : (string * string, string list) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun (c : Scanner.Observation.conn) ->
+      if c.Scanner.Observation.ok then begin
+        let r = c.Scanner.Observation.region in
+        if not (List.mem r !regions) then regions := r :: !regions;
+        let key = (c.Scanner.Observation.domain, r) in
+        let fp = fingerprint c in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt fps key) in
+        if not (List.mem fp existing) then
+          Hashtbl.replace fps key (List.sort compare (fp :: existing))
+      end)
+    rows;
+  let regions = List.rev !regions in
+  let population = ref 0.0 and inconsistent = ref 0.0 in
+  let by_op : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      let name = Simnet.World.domain_name d in
+      let observed =
+        List.filter_map (fun r -> Hashtbl.find_opt fps (name, r)) regions
+      in
+      match observed with
+      | [] | [ _ ] -> () (* seen from < 2 regions: inconsistency undefined *)
+      | first :: rest ->
+          let weight = Simnet.World.domain_weight d in
+          population := !population +. weight;
+          if List.exists (fun fp -> fp <> first) rest then begin
+            inconsistent := !inconsistent +. weight;
+            let op = Simnet.World.domain_operator d in
+            Hashtbl.replace by_op op
+              (weight +. Option.value ~default:0.0 (Hashtbl.find_opt by_op op))
+          end)
+    (Simnet.World.domains world);
+  let by_operator =
+    Hashtbl.fold (fun op w acc -> (op, w) :: acc) by_op []
+    |> List.sort (fun (oa, wa) (ob, wb) ->
+           match compare wb wa with 0 -> compare oa ob | c -> c)
+  in
+  { regions; population = !population; inconsistent = !inconsistent; by_operator }
+
+let render_inconsistency (i : inconsistency) =
+  let headline =
+    Printf.sprintf "regions: %s\npopulation (seen from >= 2 regions, weighted): %s\ninconsistent domains (weighted): %s (%s)"
+      (String.concat " " i.regions)
+      (Report.fmt_count i.population)
+      (Report.fmt_count i.inconsistent)
+      (if i.population > 0.0 then Report.fmt_pct (i.inconsistent /. i.population)
+       else Report.fmt_pct 0.0)
+  in
+  let rows =
+    List.map (fun (op, w) -> [ op; Report.fmt_count w ]) i.by_operator
+  in
+  Report.section "Cross-regional configuration inconsistency (after Alashwali et al.)"
+  ^ "\n" ^ headline ^ "\n\n"
+  ^
+  if rows = [] then "(no inconsistent operators observed)"
+  else Report.table ~headers:[ "operator"; "inconsistent domains (weighted)" ] ~rows

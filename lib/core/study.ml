@@ -293,6 +293,11 @@ let vulnerability_components t =
 let vulnerability_windows t =
   Analysis.Vuln_window.windows_of_components (vulnerability_components t)
 
+let operator_harms t =
+  Analysis.Vuln_report.rank_operators ~world:t.world ~windows:(vulnerability_windows t)
+
+let vuln_report t = Analysis.Vuln_report.render_harm (operator_harms t)
+
 let ascii_hour_ticks =
   [
     (60.0, "1m");

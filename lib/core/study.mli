@@ -88,6 +88,13 @@ val vulnerability_components :
 
 val vulnerability_windows : t -> Analysis.Vuln_window.window list
 
+val operator_harms : t -> Analysis.Vuln_report.operator_harm list
+(** Operators ranked by combined harm: HT-weighted vulnerability-window
+    days scaled by misconfiguration severity. Forces the study. *)
+
+val vuln_report : t -> string
+(** Rendered {!operator_harms} table. *)
+
 (** {2 Axis ticks for the ASCII figures} *)
 
 val ascii_hour_ticks : (float * string) list

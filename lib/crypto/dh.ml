@@ -105,6 +105,12 @@ let is_probably_prime ?(rounds = 20) ?rng n =
    lands in a prime-order group. *)
 let generate_cache : (int * string, group) Hashtbl.t = Hashtbl.create 8
 
+(* Guards [generate_cache]: parallel-campaign domains request sim groups
+   concurrently, and an unsynchronized Hashtbl resize under that race can
+   corrupt the table (same hazard the fixed-base comb cache in Bignum
+   guards against). *)
+let generate_lock = Mutex.create ()
+
 let generate_uncached ~bits ~seed =
   if bits < 16 || bits > 256 then invalid_arg "Dh.generate: bits out of range";
   let rng = Drbg.create ~seed:(Printf.sprintf "dh-group:%s:%d" seed bits) in
@@ -129,12 +135,23 @@ let generate_uncached ~bits ~seed =
     ~p ~g:(Bignum.of_int 4) ~q_bits:(min (bits - 2) 64)
 
 let generate ~bits ~seed =
-  match Hashtbl.find_opt generate_cache (bits, seed) with
+  let cached =
+    Mutex.protect generate_lock (fun () -> Hashtbl.find_opt generate_cache (bits, seed))
+  in
+  match cached with
   | Some g -> g
   | None ->
+      (* Generate outside the lock: primality search is expensive and the
+         result is deterministic in (bits, seed), so a losing racer just
+         recomputes the same group. First writer wins so every caller
+         shares one physical group (and its Montgomery/comb caches). *)
       let g = generate_uncached ~bits ~seed in
-      Hashtbl.replace generate_cache (bits, seed) g;
-      g
+      Mutex.protect generate_lock (fun () ->
+          match Hashtbl.find_opt generate_cache (bits, seed) with
+          | Some g -> g
+          | None ->
+              Hashtbl.replace generate_cache (bits, seed) g;
+              g)
 
 (* --- Key exchange -------------------------------------------------------- *)
 

@@ -32,9 +32,11 @@ type conn = {
   ecdhe_value : string option; (* hex server ECDHE public point *)
   failure : Faults.Fault.t option; (* why the connection failed; None when ok *)
   attempts : int; (* connection attempts this observation cost (>= 1) *)
+  region : string; (* scan vantage the observation was made from *)
 }
 
-let failed_conn ?(failure = Faults.Fault.Unknown) ?(attempts = 1) ~time ~domain () =
+let failed_conn ?(failure = Faults.Fault.Unknown) ?(attempts = 1)
+    ?(region = Simnet.Region.default_name) ~time ~domain () =
   {
     time;
     domain;
@@ -50,17 +52,20 @@ let failed_conn ?(failure = Faults.Fault.Unknown) ?(attempts = 1) ~time ~domain 
     ecdhe_value = None;
     failure = Some failure;
     attempts;
+    region;
   }
 
 (* --- CSV ---------------------------------------------------------------- *)
 
-(* Pre-fault-classification archives end at ecdhe_value; both header
-   widths load ({!of_csv_row} maps a missing failure column on a failed
-   row to [Unknown]). *)
+(* Pre-fault-classification archives end at ecdhe_value, pre-region
+   archives at attempts; all three header widths load ({!of_csv_row}
+   maps a missing failure column on a failed row to [Unknown] and a
+   missing region column to the default vantage). *)
 let csv_header_legacy =
   "time,domain,ok,resumed,cipher,session_id_set,session_id,trusted,stek_id,ticket_hint,dhe_value,ecdhe_value"
 
-let csv_header = csv_header_legacy ^ ",failure,attempts"
+let csv_header_v14 = csv_header_legacy ^ ",failure,attempts"
+let csv_header = csv_header_v14 ^ ",region"
 
 let opt_str = function None -> "" | Some s -> s
 let opt_int = function None -> "" | Some i -> string_of_int i
@@ -84,11 +89,12 @@ let to_csv_row c =
       opt_str c.ecdhe_value;
       (match c.failure with None -> "" | Some f -> Faults.Fault.to_string f);
       string_of_int c.attempts;
+      c.region;
     ]
 
 let of_csv_row row =
   let parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
-      ~failure ~attempts =
+      ~failure ~attempts ~region =
       let ( let* ) = Option.bind in
       let* time = int_of_string_opt time in
       let* ok = bool_of_string_opt ok in
@@ -116,6 +122,11 @@ let of_csv_row row =
       let* attempts =
         match attempts with None -> Some 1 | Some s -> int_of_string_opt s
       in
+      let region =
+        match region with
+        | None | Some "" -> Simnet.Region.default_name
+        | Some r -> r
+      in
       Some
         {
           time;
@@ -132,19 +143,27 @@ let of_csv_row row =
           ecdhe_value = blank_opt ecdhe;
           failure;
           attempts;
+          region;
         }
   in
   match String.split_on_char ',' row with
   | [ time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe ] ->
       (* Legacy 12-column archive row. *)
       parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
-        ~failure:None ~attempts:None
+        ~failure:None ~attempts:None ~region:None
   | [
       time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe;
       failure; attempts;
     ] ->
+      (* Pre-region 14-column archive row. *)
       parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
-        ~failure:(Some failure) ~attempts:(Some attempts)
+        ~failure:(Some failure) ~attempts:(Some attempts) ~region:None
+  | [
+      time; domain; ok; resumed; cipher; id_set; session_id; trusted; stek; hint; dhe; ecdhe;
+      failure; attempts; region;
+    ] ->
+      parse time domain ok resumed cipher id_set session_id trusted stek hint dhe ecdhe
+        ~failure:(Some failure) ~attempts:(Some attempts) ~region:(Some region)
   | _ -> None
 
 (* Atomic + checksummed like every archived artifact: a crash mid-write
@@ -170,8 +189,15 @@ let read_csv path =
       in
       let rec go acc first = function
         | [] -> Ok (List.rev acc)
+        (* Campaign archives carry a `#tlsharm-campaign,...` metadata
+           line (and future formats may add more); they are framing, not
+           observations. *)
+        | line :: rest when String.length line > 0 && line.[0] = '#' -> go acc first rest
         | line :: rest
-          when first && (String.equal line csv_header || String.equal line csv_header_legacy)
+          when first
+               && (String.equal line csv_header
+                  || String.equal line csv_header_v14
+                  || String.equal line csv_header_legacy)
           ->
             go acc false rest
         | line :: rest -> (

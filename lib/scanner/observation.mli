@@ -24,18 +24,30 @@ type conn = {
   failure : Faults.Fault.t option;
       (** why the connection failed; [None] when [ok] *)
   attempts : int;  (** connection attempts this observation cost (>= 1) *)
+  region : string;  (** scan vantage the observation was made from *)
 }
 
 val failed_conn :
-  ?failure:Faults.Fault.t -> ?attempts:int -> time:int -> domain:string -> unit -> conn
-(** [failure] defaults to [Unknown], [attempts] to 1. *)
+  ?failure:Faults.Fault.t ->
+  ?attempts:int ->
+  ?region:string ->
+  time:int ->
+  domain:string ->
+  unit ->
+  conn
+(** [failure] defaults to [Unknown], [attempts] to 1, [region] to
+    {!Simnet.Region.default_name}. *)
 
 val csv_header : string
 
+val csv_header_v14 : string
+(** Pre-region header (no region column); rows under it load with the
+    default region. *)
+
 val csv_header_legacy : string
-(** Pre-fault-classification header (no failure/attempts columns); both
-    widths load, a missing failure column on a failed row maps to
-    [Unknown]. *)
+(** Pre-fault-classification header (no failure/attempts/region
+    columns); all three widths load, a missing failure column on a
+    failed row maps to [Unknown]. *)
 
 val to_csv_row : conn -> string
 val of_csv_row : string -> conn option

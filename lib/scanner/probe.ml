@@ -114,6 +114,7 @@ let observe ?(attempts = 1) t ~domain (outcome : Tls.Engine.outcome) ~now =
     ecdhe_value;
     failure = (if outcome.Tls.Engine.ok then None else Some Faults.Fault.Unknown);
     attempts;
+    region = Simnet.World.region t.world;
   }
 
 (* One probe operation; [offer] controls resumption. Routed through the
@@ -193,7 +194,9 @@ let connect ?(offer = Tls.Client.Fresh) t ~domain =
   match result with
   | Ok (outcome, attempts) -> (observe ~attempts t ~domain outcome ~now, Some outcome)
   | Error (failure, attempts) ->
-      (Observation.failed_conn ~failure ~attempts ~time:now ~domain (), None)
+      ( Observation.failed_conn ~failure ~attempts
+          ~region:(Simnet.World.region t.world) ~time:now ~domain (),
+        None )
 
 (* The client-side state needed to attempt a resumption later. *)
 type resumable = {

@@ -39,6 +39,11 @@ type spec = {
   restart_day : int option; (* scheduled process restart (kills kex caches) *)
   flagships : (string * int) list; (* named domains with fixed ranks *)
   mx_provider : bool; (* other domains' MX records point here (Google) *)
+  regional_note : [ `Consistent | `Inconsistent ];
+      (* Cross-regional config consistency (Alashwali et al.): the
+         centrally-managed giants serve one config everywhere
+         ([`Consistent]); legacy hosting and regionally-operated edges
+         are known to downgrade from some vantages ([`Inconsistent]). *)
 }
 
 and ticket = {
@@ -73,6 +78,7 @@ let default_spec =
     restart_day = None;
     flagships = [];
     mx_provider = false;
+    regional_note = `Consistent;
   }
 
 let rotate ~period ~window = Tls.Stek_manager.Rotate_every { period; accept_window = window }
@@ -193,7 +199,9 @@ let all =
       stek_scope = `Operator;
       flagships = [ ("shopify.com", 720) ];
     };
-    (* GoDaddy shared hosting: 1,875-domain STEK group, slow rotation. *)
+    (* GoDaddy shared hosting: 1,875-domain STEK group, slow rotation.
+       Regionally-franchised legacy hosting fleet — configs drift by
+       vantage. *)
     {
       default_spec with
       op_name = "godaddy";
@@ -202,6 +210,7 @@ let all =
       ticket =
         Some { hint = 5 * minute; accept = 5 * minute; stek = rotate ~period:(3 * day) ~window:(6 * hour); reissue = true };
       suites = full_suites;
+      regional_note = `Inconsistent;
     };
     (* Amazon front-ends (ELB/CloudFront customers): 1,495-domain STEK
        group, daily rotation. *)
@@ -346,6 +355,7 @@ let all =
       dhe_policy = Tls.Kex_cache.Reuse_for (8 * hour);
       suites = full_suites;
     };
+    (* EdgeCast's regional PoPs ran heterogeneous terminator builds. *)
     {
       default_spec with
       op_name = "edgecast";
@@ -353,9 +363,11 @@ let all =
       size = 75;
       dhe_policy = Tls.Kex_cache.Reuse_for (2 * hour);
       suites = full_suites;
+      regional_note = `Inconsistent;
     };
     (* Hostway: the single most widely shared DHE value (137 domains,
-       119 IPs, all in AS 20401). *)
+       119 IPs, all in AS 20401). Shared-hosting edges differ per region
+       like GoDaddy's. *)
     {
       default_spec with
       op_name = "hostway";
@@ -363,6 +375,7 @@ let all =
       size = 137;
       dhe_policy = Tls.Kex_cache.Reuse_for (12 * hour);
       suites = full_suites;
+      regional_note = `Inconsistent;
     };
   ]
 

@@ -19,6 +19,20 @@ type ticket = {
   reissue : bool;
 }
 
+(* Misconfiguration taxonomy, after the classic server-test checklist
+   (LOGJAM-grade DH groups, static-key-exchange-only endpoints, stale
+   cipher menus). Orthogonal to the crypto-shortcut axis: a site can
+   rotate its STEK daily and still negotiate an export-grade DH group. *)
+type weak_dh =
+  | Export_grade (* LOGJAM-class export group *)
+  | Legacy (* undersized but not export-grade *)
+
+type misconfig = {
+  weak_dh : weak_dh option; (* served DHE group is undersized *)
+  static_only : bool; (* static key exchange only (no FS at all) *)
+  stale_order : bool; (* prefers obsolete suites over modern ones *)
+}
+
 type t = {
   https : bool;
   trusted : bool; (* presents a browser-trusted chain *)
@@ -30,11 +44,84 @@ type t = {
   ecdhe_policy : Tls.Kex_cache.policy;
   restart_mean : int option; (* mean seconds between process restarts *)
   failure_rate : float; (* transient per-connection failure probability *)
+  misconfig : misconfig;
 }
 
 let minute = 60
 let hour = 3600
 let day = 86_400
+
+let well_configured = { weak_dh = None; static_only = false; stale_order = false }
+
+(* One additive severity scale for combined-harm ranking: export-grade DH
+   (actively exploitable key recovery) > no forward secrecy at all >
+   merely undersized DH > a stale preference order. *)
+let misconfig_severity m =
+  (match m.weak_dh with Some Export_grade -> 4 | Some Legacy -> 2 | None -> 0)
+  + (if m.static_only then 3 else 0)
+  + if m.stale_order then 1 else 0
+
+let misconfig_label m =
+  let parts =
+    (match m.weak_dh with
+    | Some Export_grade -> [ "export-dh" ]
+    | Some Legacy -> [ "legacy-dh" ]
+    | None -> [])
+    @ (if m.static_only then [ "static-only" ] else [])
+    @ if m.stale_order then [ "stale-order" ] else []
+  in
+  match parts with [] -> "clean" | _ -> String.concat "+" parts
+
+(* The worse of two configurations, used when a regional override
+   degrades an already-imperfect base profile. *)
+let misconfig_combine a b =
+  {
+    weak_dh =
+      (match (a.weak_dh, b.weak_dh) with
+      | Some Export_grade, _ | _, Some Export_grade -> Some Export_grade
+      | Some Legacy, _ | _, Some Legacy -> Some Legacy
+      | None, None -> None);
+    static_only = a.static_only || b.static_only;
+    stale_order = a.stale_order || b.stale_order;
+  }
+
+(* Rewrite a suite menu under a misconfiguration: static-only endpoints
+   drop every forward-secret suite; a stale preference order serves the
+   oldest suites first (DHE, then static, ECDHE last) without changing
+   the supported set. *)
+let misconfig_suites m suites =
+  if suites = [] then []
+  else if m.static_only then [ T.ECDH_ECDSA_AES128_SHA256 ]
+  else if m.stale_order then
+    let has s = List.mem s suites in
+    List.filter has
+      [ T.DHE_ECDSA_AES128_SHA256; T.ECDH_ECDSA_AES128_SHA256; T.ECDHE_ECDSA_AES128_SHA256 ]
+  else suites
+
+(* Base-profile misconfiguration rates, kept small enough that the
+   Table 1 suite marginals stay inside the calibration tolerances:
+   ~2.6% of sites serve an undersized DH group, ~0.6% are static-only,
+   ~3% run a stale preference order. *)
+let sample_misconfig rng =
+  let weak_dh =
+    Crypto.Drbg.weighted rng
+      [ (0.974, None); (0.008, Some Export_grade); (0.018, Some Legacy) ]
+  in
+  let static_only = Crypto.Drbg.bool rng ~p:0.006 in
+  let stale_order = Crypto.Drbg.bool rng ~p:0.03 in
+  { weak_dh; static_only; stale_order }
+
+(* A regional downgrade for the cross-vantage worlds: what an
+   inconsistent operator serves from its weaker regions, combined with
+   the base misconfiguration by {!misconfig_combine}. *)
+let sample_downgrade rng =
+  Crypto.Drbg.weighted rng
+    [
+      (0.40, { well_configured with weak_dh = Some Legacy });
+      (0.15, { well_configured with weak_dh = Some Export_grade });
+      (0.25, { well_configured with static_only = true });
+      (0.20, { well_configured with stale_order = true });
+    ]
 
 let no_https =
   {
@@ -48,6 +135,7 @@ let no_https =
     ecdhe_policy = Tls.Kex_cache.Fresh_always;
     restart_mean = None;
     failure_rate = 0.;
+    misconfig = well_configured;
   }
 
 (* --- Conditional distributions for the long tail --------------------------- *)
@@ -83,11 +171,14 @@ let sample_session_id rng =
     let resumes = Crypto.Drbg.bool rng ~p:(0.83 /. 0.97) in
     if not resumes then (true, None)
     else
+      (* Weights must sum to 1.0: [Drbg.weighted] normalizes by the
+         total, so a short table silently rescales every entry and the
+         calibration comments stop matching the sampled marginals. *)
       let lifetime =
         Crypto.Drbg.weighted rng
           [
             (0.10, 3 * minute);
-            (0.52, 5 * minute) (* Apache / Nginx default *);
+            (0.53, 5 * minute) (* Apache / Nginx default *);
             (0.04, 10 * minute);
             (0.07, 30 * minute);
             (0.09, 1 * hour);
@@ -201,6 +292,7 @@ let sample_tail rng =
     let ticket = sample_ticket rng ~stek in
     let dhe_policy, dhe_pref = sample_dhe_policy rng in
     let ecdhe_policy, ecdhe_pref = sample_ecdhe_policy rng in
+    let misconfig = sample_misconfig rng in
     (* A site that keeps one process-lifetime ephemeral value for weeks is
        by definition a server that is not restarted; that preference
        dominates. Otherwise the restart cadence comes from the STEK story
@@ -231,5 +323,6 @@ let sample_tail rng =
       ecdhe_policy;
       restart_mean;
       failure_rate = 0.01;
+      misconfig;
     }
   end

@@ -37,6 +37,7 @@ type config = {
   use_real_crypto : bool; (* Oakley-2 + P-256 instead of small groups *)
   stable_fraction : float; (* domains present in the list every day *)
   mx_google_fraction : float; (* domains whose MX points at Google (9.1%) *)
+  region : Region.t; (* scan vantage; the default reproduces the paper *)
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     use_real_crypto = false;
     stable_fraction = 0.55;
     mx_google_fraction = 0.091;
+    region = Region.default_name;
   }
 
 (* --- Endpoints ---------------------------------------------------------------- *)
@@ -88,8 +90,13 @@ type stek_spec =
   | Shared_stek of Tls.Stek_manager.t
   | Per_slot_stek of string (* derivation label *)
 
-(* Per-endpoint behaviour shared by all its domains' servers. *)
+(* Per-endpoint behaviour shared by all its domains' servers. [b_env] is
+   the TLS environment every server on the endpoint runs under — uniform
+   per endpoint because the slot-shared {!Tls.Kex_cache} hands the same
+   cached DHE keypair to every server on the slot, so two servers with
+   different groups on one endpoint would serve incoherent values. *)
 type behavior = {
+  b_env : Tls.Config.env;
   b_suites : T.cipher_suite list;
   b_issue_ids : bool;
   b_ticket : (int * int * bool) option; (* hint, accept, reissue *)
@@ -106,6 +113,7 @@ type domain = {
   d_mx_google : bool;
   d_stable : bool;
   d_presence_p : float;
+  d_misconfig : Profile.misconfig; (* effective at this world's region *)
 }
 
 type t = {
@@ -128,6 +136,8 @@ type t = {
 
 let clock t = t.clock
 let env t = t.env
+let region t = t.config.region
+let world_config t = t.config
 let root_store t = t.root_store
 let domains t = t.domains
 let find_domain t name = Hashtbl.find_opt t.by_name name
@@ -143,6 +153,7 @@ let domain_stable d = d.d_stable
 let domain_mx_google d = d.d_mx_google
 let domain_ip d = d.d_ip
 let domain_asn d = match d.d_endpoint with Some ep -> ep.ep_asn | None -> 0
+let domain_misconfig d = d.d_misconfig
 
 (* --- Shard accessors ------------------------------------------------------------
 
@@ -194,6 +205,68 @@ type builder = {
 let fresh_ip b =
   b.bips <- b.bips + 1;
   b.bips
+
+(* --- Regional misconfiguration overrides ------------------------------------
+
+   A non-default region's world differs from the default vantage only in
+   the configurations of regionally-inconsistent operators. Every
+   decision below is a hash of (seed, operator[, region]) or a dedicated
+   DRBG seeded from them — never the sequential builder DRBG — so adding
+   or changing overrides cannot shift any other draw: certificates,
+   ranks, endpoints and secrets are byte-identical across regions. *)
+
+let hash01 s =
+  let h = Crypto.Sha256.digest s in
+  float_of_int (Char.code h.[0] land 0x7f) /. 128.0
+
+(* Calibrated to Alashwali et al.'s headline: a clear minority of
+   domains serve different configs by region. ~10% of tail operators are
+   inconsistent at all, and an inconsistent operator downgrades from
+   about half of the non-default vantages. *)
+let tail_inconsistent_p = 0.10
+let region_downgrade_p = 0.5
+
+let effective_misconfig (bc : config) ~operator ~note ~base =
+  if String.equal bc.region Region.default_name then base
+  else
+    let inconsistent =
+      match note with
+      | `Inconsistent -> true
+      | `Consistent -> false
+      | `Tail ->
+          hash01 (Printf.sprintf "region-eligible:%s:%s" bc.seed operator)
+          < tail_inconsistent_p
+    in
+    if not inconsistent then base
+    else if
+      hash01 (Printf.sprintf "region-downgrade:%s:%s:%s" bc.seed bc.region operator)
+      >= region_downgrade_p
+    then base
+    else
+      let rng =
+        Crypto.Drbg.create
+          ~seed:(Printf.sprintf "%s:region:%s:%s" bc.seed bc.region operator)
+      in
+      Profile.misconfig_combine base (Profile.sample_downgrade rng)
+
+(* The TLS environment a misconfiguration implies: an undersized DH
+   group replaces the env default. Groups are derived from the world
+   seed alone (not the operator), matching reality — weak deployments
+   overwhelmingly share the same few export-grade groups, which is what
+   made LOGJAM a mass attack. [Dh.generate] memoizes, so every weak
+   endpoint shares one physical group object. *)
+let misconfig_env b (m : Profile.misconfig) =
+  match m.Profile.weak_dh with
+  | None -> b.benv
+  | Some grade ->
+      let bits =
+        match (b.bc.use_real_crypto, grade) with
+        | false, Profile.Export_grade -> 24
+        | false, Profile.Legacy -> 40
+        | true, Profile.Export_grade -> 160
+        | true, Profile.Legacy -> 256
+      in
+      { b.benv with Tls.Config.dh_group = Crypto.Dh.generate ~bits ~seed:b.bc.seed }
 
 (* Restarts are jittered-periodic (period x 0.8..1.2), like cron-driven
    deployments: exponential gaps would make the *maximum* gap over nine
@@ -305,8 +378,8 @@ let issue_chain b ~hostname ~trusted =
     ([ leaf; Tls.Cert.authority_cert b.bintermediate ], keypair)
   end
 
-let add_domain b ~name ~rank ~weight ~operator ~endpoint ~behavior ~trusted ~mx_google ~stable
-    ~presence_p =
+let add_domain b ~name ~rank ~weight ~operator ~endpoint ~behavior ?(misconfig = Profile.well_configured)
+    ~trusted ~mx_google ~stable ~presence_p () =
   let ip =
     match endpoint with
     | None -> 0
@@ -334,7 +407,7 @@ let add_domain b ~name ~rank ~weight ~operator ~endpoint ~behavior ~trusted ~mx_
           in
           let config =
             {
-              Tls.Config.env = b.benv;
+              Tls.Config.env = behavior.b_env;
               suites = behavior.b_suites;
               issue_session_ids = behavior.b_issue_ids;
               session_cache = ep.ep_session_cache;
@@ -362,6 +435,7 @@ let add_domain b ~name ~rank ~weight ~operator ~endpoint ~behavior ~trusted ~mx_
       d_mx_google = mx_google;
       d_stable = stable;
       d_presence_p = presence_p;
+      d_misconfig = (match endpoint with Some _ -> misconfig | None -> Profile.well_configured);
     }
     :: b.bdomains
 
@@ -406,9 +480,17 @@ let build_operators b ~scale =
             in
             Some (stek_manager b ~label ~policy)
       in
+      (* The giants are well-configured at the default vantage; the
+         operators whose regional notes mark them inconsistent may serve
+         a downgraded config from non-default regions. *)
+      let misconfig =
+        effective_misconfig b.bc ~operator:spec.Operators.op_name
+          ~note:spec.Operators.regional_note ~base:Profile.well_configured
+      in
       let behavior =
         {
-          b_suites = spec.Operators.suites;
+          b_env = misconfig_env b misconfig;
+          b_suites = Profile.misconfig_suites misconfig spec.Operators.suites;
           b_issue_ids = spec.Operators.issue_ids;
           b_ticket =
             Option.map
@@ -452,9 +534,9 @@ let build_operators b ~scale =
           List.iter
             (fun (name, rank) ->
               add_domain b ~name ~rank ~weight:1.0 ~operator:spec.Operators.op_name
-                ~endpoint:(Some first_pod) ~behavior ~trusted:true
+                ~endpoint:(Some first_pod) ~behavior ~misconfig ~trusted:true
                 ~mx_google:(spec.Operators.op_name = "google")
-                ~stable:true ~presence_p:1.0)
+                ~stable:true ~presence_p:1.0 ())
             spec.Operators.flagships
       | [] -> ());
       (* Sampled customer domains. *)
@@ -468,9 +550,9 @@ let build_operators b ~scale =
             incr customer_index;
             let stable, presence_p = presence_sample rng b.bc.stable_fraction in
             add_domain b ~name ~rank:0 ~weight ~operator:spec.Operators.op_name
-              ~endpoint:(Some ep) ~behavior ~trusted:true
+              ~endpoint:(Some ep) ~behavior ~misconfig ~trusted:true
               ~mx_google:(mx_sample rng b.bc.mx_google_fraction)
-              ~stable ~presence_p
+              ~stable ~presence_p ()
           done)
         pods)
     Operators.all
@@ -584,15 +666,19 @@ let build_notables b =
         else [ T.ECDHE_ECDSA_AES128_SHA256; T.ECDH_ECDSA_AES128_SHA256 ]
       in
       let accept = Option.value n.Notable.hint_override ~default:hour in
+      (* Case-study sites are single-site operations: what they serve,
+         they serve from every vantage. *)
       let behavior =
         {
+          b_env = b.benv;
           b_suites = suites;
           b_issue_ids = true;
           b_ticket = (if stek = None then None else Some (accept, accept, true));
         }
       in
       add_domain b ~name ~rank:n.Notable.rank ~weight:1.0 ~operator:("site:" ^ name)
-        ~endpoint:(Some ep) ~behavior ~trusted:true ~mx_google:false ~stable:true ~presence_p:1.0)
+        ~endpoint:(Some ep) ~behavior ~trusted:true ~mx_google:false ~stable:true ~presence_p:1.0
+        ())
     Notable.all
 
 (* The long tail: shared-hosting pods plus independent sites, drawn from
@@ -617,9 +703,10 @@ let build_tail b ~count ~weight =
       ~ecdhe:p.Profile.ecdhe_policy ~failure_rate:p.Profile.failure_rate
       ?restart_period:p.Profile.restart_mean ()
   in
-  let behavior_of (p : Profile.t) =
+  let behavior_of misconfig (p : Profile.t) =
     {
-      b_suites = p.Profile.suites;
+      b_env = misconfig_env b misconfig;
+      b_suites = Profile.misconfig_suites misconfig p.Profile.suites;
       b_issue_ids = p.Profile.issue_ids;
       b_ticket =
         Option.map (fun tp -> (tp.Profile.hint, tp.Profile.accept, tp.Profile.reissue)) p.Profile.ticket;
@@ -675,8 +762,18 @@ let build_tail b ~count ~weight =
       end
     in
     let operator = match endpoint with Some ep -> ep.ep_operator | None -> "tail" in
-    add_domain b ~name ~rank:0 ~weight ~operator ~endpoint ~behavior:(behavior_of profile)
-      ~trusted:profile.Profile.trusted ~mx_google ~stable ~presence_p
+    (* The tail's base misconfiguration is part of its sampled profile
+       (shared by every member of a hosting pod); the regional override
+       is keyed on the operator label, so pod members stay coherent. *)
+    let misconfig =
+      match endpoint with
+      | None -> Profile.well_configured
+      | Some _ ->
+          effective_misconfig b.bc ~operator ~note:`Tail ~base:profile.Profile.misconfig
+    in
+    add_domain b ~name ~rank:0 ~weight ~operator ~endpoint
+      ~behavior:(behavior_of misconfig profile) ~misconfig ~trusted:profile.Profile.trusted
+      ~mx_google ~stable ~presence_p ()
   done
 
 (* --- Rank assignment --------------------------------------------------------------- *)
@@ -735,6 +832,10 @@ let min_domains = 1500
 let create ?(config = default_config) () =
   if config.n_domains < min_domains then
     invalid_arg (Printf.sprintf "World.create: need at least %d domains" min_domains);
+  if not (Region.is_valid config.region) then
+    invalid_arg
+      (Printf.sprintf "World.create: unknown region %S (available: %s)" config.region
+         Region.names);
   let env =
     if config.use_real_crypto then Tls.Config.real_env ()
     else Tls.Config.sim_env ~seed:config.seed ()

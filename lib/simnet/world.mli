@@ -12,11 +12,17 @@ type config = {
   use_real_crypto : bool;  (** Oakley-2 + P-256 instead of small groups *)
   stable_fraction : float;  (** domains present in the list every day *)
   mx_google_fraction : float;  (** domains whose MX points at Google *)
+  region : Region.t;
+      (** scan vantage point. A world is a pure function of
+          [(config, region)]: the default region reproduces the paper's
+          single-vantage world byte-for-byte, and any other region
+          differs only in the configs of regionally-inconsistent
+          operators (deterministic per-operator overrides). *)
 }
 
 val default_config : config
 (** 10,000 domains, seed ["tlsharm"], starting March 2 2016 (the paper's
-    first scan day), small crypto parameters. *)
+    first scan day), small crypto parameters, the default region. *)
 
 val case_study_lead_days : int
 (** Days between world start and the longitudinal campaign in the
@@ -39,6 +45,12 @@ val create : ?config:config -> unit -> t
 
 val clock : t -> Clock.t
 val env : t -> Tls.Config.env
+
+val region : t -> Region.t
+(** The vantage this world is observed from; stamped into every
+    observation row the scanner produces against it. *)
+
+val world_config : t -> config
 val root_store : t -> Tls.Cert.root_store
 val domains : t -> domain array
 (** Sorted by rank. *)
@@ -65,6 +77,11 @@ val domain_mx_google : domain -> bool
 val mx_points_to_google : domain -> bool
 val domain_ip : domain -> int
 val domain_asn : domain -> int
+
+val domain_misconfig : domain -> Profile.misconfig
+(** Ground-truth misconfiguration effective at this world's region
+    (base profile combined with any regional downgrade);
+    {!Profile.well_configured} for HTTPS-less domains. *)
 
 val in_list_on_day : domain -> day:int -> bool
 (** Deterministic Alexa-churn membership. *)

@@ -543,6 +543,37 @@ let test_dh_rejects_degenerate () =
       | Ok _ -> Alcotest.fail (label ^ " accepted"))
     [ ("zero", B.zero); ("one", B.one); ("p-1", B.sub_int p 1); ("p", p) ]
 
+let test_dh_generate_race () =
+  (* [Dh.generate] memoizes into a process-global cache; a parallel
+     campaign's workers all derive the same weak groups from the world
+     seed, so concurrent first calls must agree on one group object
+     (LOGJAM realism: weak endpoints share their group) rather than
+     racing the hashtable. Hammer several fresh (bits, seed) keys from
+     four domains at once. *)
+  let combos =
+    Array.init 8 (fun i -> (24 + (8 * (i mod 4)), Printf.sprintf "race-seed-%d" (i / 4)))
+  in
+  let worker () =
+    Array.map (fun (bits, seed) -> Crypto.Dh.generate ~bits ~seed) combos
+  in
+  let results =
+    Array.init 4 (fun _ -> Domain.spawn worker) |> Array.map Domain.join
+  in
+  Array.iteri
+    (fun j (bits, seed) ->
+      Array.iteri
+        (fun k r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "worker %d shares group (%d bits, %s)" k bits seed)
+            true
+            (r.(j) == results.(0).(j)))
+        results)
+    combos;
+  (* And the cached object is what a later caller sees. *)
+  let bits, seed = combos.(0) in
+  Alcotest.(check bool) "later call hits the cache" true
+    (Crypto.Dh.generate ~bits ~seed == results.(0).(0))
+
 let test_dh_oakley_agreement () =
   let rng = Crypto.Drbg.create ~seed:"dh-oakley" in
   let alice = Crypto.Dh.gen_keypair Crypto.Dh.oakley2 rng in
@@ -869,6 +900,7 @@ let () =
           Alcotest.test_case "generated group" `Quick test_generated_group;
           Alcotest.test_case "agreement" `Quick test_dh_agreement;
           Alcotest.test_case "degenerate rejection" `Quick test_dh_rejects_degenerate;
+          Alcotest.test_case "generate race" `Quick test_dh_generate_race;
           Alcotest.test_case "oakley2 agreement" `Slow test_dh_oakley_agreement;
         ] );
       ( "ec",

@@ -420,6 +420,7 @@ let test_legacy_csv_rows () =
       ecdhe_value = Some "0a0b";
       failure = None;
       attempts = 1;
+      region = Simnet.Region.default_name;
     }
   in
   let failed_obs = Scanner.Observation.failed_conn ~time:9 ~domain:"down.example" () in

@@ -30,6 +30,7 @@ let sample_conn =
     ecdhe_value = Some "0011";
     failure = None;
     attempts = 1;
+    region = Simnet.Region.default_name;
   }
 
 let test_csv_roundtrip () =
@@ -84,6 +85,7 @@ let prop_csv_roundtrip =
           ecdhe_value = ecdhe;
           failure;
           attempts;
+          region = Simnet.Region.default_name;
         })
     (fun conn ->
       match Scanner.Observation.of_csv_row (Scanner.Observation.to_csv_row conn) with
@@ -570,6 +572,81 @@ let test_cross_probe () =
         (op e.Scanner.Cross_probe.to_domain))
     result.Scanner.Cross_probe.edges
 
+(* --- Cross-vantage ----------------------------------------------------------------- *)
+
+let test_cross_vantage_jobs_invariant () =
+  let cfg =
+    {
+      Scanner.Cross_vantage.base = world_config;
+      regions = Simnet.Region.take 2;
+      days = 1;
+    }
+  in
+  let one = Scanner.Cross_vantage.run ~jobs:1 cfg in
+  let four = Scanner.Cross_vantage.run ~jobs:4 cfg in
+  Alcotest.(check bool) "jobs 1 and 4 byte-identical" true
+    (Scanner.Cross_vantage.rows one = Scanner.Cross_vantage.rows four);
+  (* Every configured region appears, and rows carry their vantage. *)
+  let rows = Scanner.Cross_vantage.rows one in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " observed") true
+        (List.exists (fun (c : Scanner.Observation.conn) -> c.Scanner.Observation.region = r) rows))
+    (Scanner.Cross_vantage.regions one);
+  (* And the archive round-trips through the observation CSV. *)
+  let path = Filename.temp_file "tlsharm-cv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scanner.Cross_vantage.save one path;
+      match Scanner.Cross_vantage.load path with
+      | Ok read -> Alcotest.(check bool) "save/load roundtrip" true (read = rows)
+      | Error e -> Alcotest.fail e)
+
+let test_cross_vantage_rejects_bad_config () =
+  let base = world_config in
+  (match
+     Scanner.Cross_vantage.run
+       { Scanner.Cross_vantage.base; regions = [ "mars-base" ]; days = 1 }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown region accepted");
+  match
+    Scanner.Cross_vantage.run { Scanner.Cross_vantage.base; regions = []; days = 1 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty region list accepted"
+
+(* A pre-region archive (14-column header, no region column) loads with
+   every row attributed to the default vantage. *)
+let test_pre_region_csv_loads () =
+  let row14 =
+    String.concat ","
+      (List.filteri
+         (fun i _ -> i < 14)
+         (String.split_on_char ',' (Scanner.Observation.to_csv_row sample_conn)))
+  in
+  (match Scanner.Observation.of_csv_row row14 with
+  | Some c ->
+      Alcotest.(check string) "default region" Simnet.Region.default_name
+        c.Scanner.Observation.region;
+      Alcotest.(check bool) "rest of the row intact" true
+        (c = { sample_conn with Scanner.Observation.region = Simnet.Region.default_name })
+  | None -> Alcotest.fail "14-column row did not parse");
+  let path = Filename.temp_file "tlsharm-v14" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Scanner.Observation.csv_header_v14 ^ "\n" ^ row14 ^ "\n");
+      close_out oc;
+      match Scanner.Observation.read_csv path with
+      | Ok [ c ] ->
+          Alcotest.(check string) "file row gets default region" Simnet.Region.default_name
+            c.Scanner.Observation.region
+      | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l))
+      | Error e -> Alcotest.fail e)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -616,4 +693,11 @@ let () =
           Alcotest.test_case "incomplete stream rejected" `Quick test_stream_incomplete_rejected;
         ] );
       ("cross-probe", [ Alcotest.test_case "cloudflare" `Slow test_cross_probe ]);
+      ( "cross-vantage",
+        [
+          Alcotest.test_case "jobs invariant + roundtrip" `Slow
+            test_cross_vantage_jobs_invariant;
+          Alcotest.test_case "rejects bad config" `Quick test_cross_vantage_rejects_bad_config;
+          Alcotest.test_case "pre-region csv loads" `Quick test_pre_region_csv_loads;
+        ] );
     ]

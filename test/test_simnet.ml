@@ -283,6 +283,108 @@ let test_profile_sampler () =
   Alcotest.(check bool) "tickets ~72% of https" true (abs_float (frac !tickets !https -. 0.72) < 0.05);
   Alcotest.(check bool) "dhe reuse ~7%" true (abs_float (frac !dhe_reuse !https -. 0.072) < 0.03)
 
+(* --- Regions --------------------------------------------------------------------------- *)
+
+(* A world is a pure function of (config, region): every region serves
+   the identical population (names, ranks, weights, operators), and any
+   non-default region differs from the default vantage only in the
+   misconfigurations of regionally-inconsistent operators. *)
+let region_base =
+  { Simnet.World.default_config with Simnet.World.n_domains = 1500; seed = "region-test" }
+
+let population w =
+  Array.map
+    (fun d ->
+      ( Simnet.World.domain_name d,
+        Simnet.World.domain_rank d,
+        Simnet.World.domain_weight d,
+        Simnet.World.domain_operator d ))
+    (Simnet.World.domains w)
+
+let misconfigs w =
+  Array.map (fun d -> Simnet.World.domain_misconfig d) (Simnet.World.domains w)
+
+let test_region_overrides () =
+  let wd = Simnet.World.create ~config:region_base () in
+  let base_pop = population wd and base_mis = misconfigs wd in
+  let overridden = ref 0 in
+  List.iter
+    (fun r ->
+      let wr =
+        Simnet.World.create ~config:{ region_base with Simnet.World.region = r } ()
+      in
+      Alcotest.(check bool)
+        (r ^ " serves the same population")
+        true
+        (population wr = base_pop);
+      let mis = misconfigs wr in
+      if r = Simnet.Region.default_name then
+        Alcotest.(check bool) "default region is the paper's world" true (mis = base_mis)
+      else begin
+        let differing = ref 0 in
+        Array.iteri (fun i m -> if m <> base_mis.(i) then incr differing) mis;
+        if !differing > 0 then incr overridden;
+        (* Overrides are the calibrated minority, not a rewrite. *)
+        Alcotest.(check bool)
+          (r ^ " overrides stay a minority")
+          true
+          (float_of_int !differing < 0.3 *. float_of_int (Array.length mis))
+      end)
+    Simnet.Region.all;
+  Alcotest.(check bool) "some region applies overrides" true (!overridden > 0)
+
+let test_region_validation () =
+  Alcotest.(check bool) "known regions valid" true
+    (List.for_all Simnet.Region.is_valid Simnet.Region.all);
+  Alcotest.(check bool) "unknown region invalid" false (Simnet.Region.is_valid "mars-base");
+  match
+    Simnet.World.create
+      ~config:{ region_base with Simnet.World.region = "mars-base" }
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "world accepted an unknown region"
+
+let prop_region_replica_identity =
+  QCheck2.Test.make ~name:"multi-region replica identity" ~count:3
+    QCheck2.Gen.(pair (oneofl Simnet.Region.all) (int_range 0 999))
+    (fun (region, n) ->
+      let cfg =
+        {
+          region_base with
+          Simnet.World.seed = Printf.sprintf "region-prop-%d" n;
+          region;
+        }
+      in
+      let w1 = Simnet.World.create ~config:cfg () in
+      let w2 = Simnet.World.create ~config:cfg () in
+      population w1 = population w2 && misconfigs w1 = misconfigs w2)
+
+let test_misconfig_taxonomy () =
+  let open Simnet.Profile in
+  Alcotest.(check int) "clean severity" 0 (misconfig_severity well_configured);
+  Alcotest.(check string) "clean label" "clean" (misconfig_label well_configured);
+  let export = { well_configured with weak_dh = Some Export_grade } in
+  let legacy = { well_configured with weak_dh = Some Legacy } in
+  let stale = { well_configured with stale_order = true } in
+  Alcotest.(check bool) "export worse than legacy" true
+    (misconfig_severity export > misconfig_severity legacy);
+  let combined = misconfig_combine legacy { export with static_only = true } in
+  Alcotest.(check bool) "combine keeps worst weak_dh" true
+    (combined.weak_dh = Some Export_grade);
+  Alcotest.(check bool) "combine ORs flags" true combined.static_only;
+  Alcotest.(check string) "label joins parts" "export-dh+static-only"
+    (misconfig_label combined);
+  (* Menu shaping: static-only collapses to the static suite, stale
+     orders only filter, and an empty menu (no HTTPS) stays empty. *)
+  let all = Tls.Types.all_cipher_suites in
+  Alcotest.(check bool) "static-only menu" true
+    (misconfig_suites { well_configured with static_only = true } all
+    = [ Tls.Types.ECDH_ECDSA_AES128_SHA256 ]);
+  Alcotest.(check bool) "stale order filters, never invents" true
+    (List.for_all (fun s -> List.mem s all) (misconfig_suites stale all));
+  Alcotest.(check bool) "empty menu stays empty" true (misconfig_suites export [] = [])
+
 (* --- Clock ----------------------------------------------------------------------------- *)
 
 let test_clock () =
@@ -330,5 +432,12 @@ let () =
         ] );
       ( "profiles",
         [ Alcotest.test_case "tail sampler calibration" `Quick test_profile_sampler ] );
+      ( "regions",
+        [
+          Alcotest.test_case "regional overrides" `Slow test_region_overrides;
+          Alcotest.test_case "region validation" `Quick test_region_validation;
+          Alcotest.test_case "misconfig taxonomy" `Quick test_misconfig_taxonomy;
+          QCheck_alcotest.to_alcotest prop_region_replica_identity;
+        ] );
       ("clock", [ Alcotest.test_case "basics" `Quick test_clock ]);
     ]
